@@ -1,0 +1,57 @@
+"""Paper Fig. 4 / Fig. 5: CFG, DFG, opSpans and timed DFG of the resizer kernel.
+
+Prints the structural artifacts (spans and latency-weighted edges) and
+benchmarks the analysis passes that build them.
+"""
+
+from repro.core.latency import LatencyAnalysis
+from repro.core.opspan import OperationSpans
+from repro.core.timed_dfg import build_timed_dfg, is_sink_name
+from repro.flows import format_table
+from repro.ir.dot import cfg_to_dot, dfg_to_dot
+from repro.workloads import resizer_main_design
+
+
+def test_fig4_latency_examples(benchmark):
+    design = resizer_main_design()
+    analysis = benchmark(lambda: LatencyAnalysis(design.cfg))
+    # The paper's three worked examples below Definition 1 of Section V.
+    assert analysis.latency("e4", "e6") == 0
+    assert analysis.latency("e1", "e7") == 2
+    assert analysis.latency("e3", "e4") is None
+    assert cfg_to_dot(design.cfg).startswith("digraph")
+    assert "rd_a" in dfg_to_dot(design.dfg)
+
+
+def test_fig5_spans_and_timed_dfg(benchmark):
+    design = resizer_main_design()
+
+    def build():
+        spans = OperationSpans(design, strict_io_successors=True)
+        timed = build_timed_dfg(design, spans=spans)
+        return spans, timed
+
+    spans, timed = benchmark(build)
+
+    rows = []
+    for op in ("rd_a", "add", "div", "sub", "rd_b", "mul", "mux", "wr"):
+        info = spans.span(op)
+        rows.append([op, info.early, info.late, ",".join(info.edges)])
+    print()
+    print(format_table(["op", "early", "late", "span"], rows,
+                       title="Fig. 5(a): operation spans of the resizer kernel"))
+
+    edge_rows = [[e.src, e.dst, e.weight] for e in timed.edges
+                 if not is_sink_name(e.dst)]
+    print(format_table(["from", "to", "latency"], edge_rows,
+                       title="Fig. 5(b): timed-DFG edge weights"))
+
+    # Early edges quoted in the paper.
+    assert spans.early("div") == "e1"
+    assert spans.early("mul") == "e5"
+    assert spans.early("mux") == "e6"
+    assert spans.span("wr").edges == ("e7",)
+    weights = {(e.src, e.dst): e.weight for e in timed.edges}
+    assert weights[("add", "mul")] == 1
+    assert weights[("mux", "wr")] == 1
+    assert weights[("add", "div")] == 0

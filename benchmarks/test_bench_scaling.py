@@ -1,0 +1,54 @@
+"""Scaling benchmarks: the linear-complexity claim of the timing analysis.
+
+The paper's key implementation claim (Section V / Table 5) is that the
+sequential-slack computation is linear in the number of DFG connections,
+whereas the Bellman-Ford constraint-graph formulation is not.  These
+benchmarks measure both on growing random dataflows so the scaling difference
+is visible in the benchmark report.
+"""
+
+import pytest
+
+from repro.core.bellman_ford import compute_sequential_slack_bellman_ford
+from repro.core.budgeting import budget_slack
+from repro.core.sequential_slack import compute_sequential_slack
+from repro.core.timed_dfg import build_timed_dfg
+from repro.ir.operations import OpKind
+from repro.lib import tsmc90_library
+from repro.workloads import random_layered_design
+
+_LIBRARY = tsmc90_library()
+_SIZES = [(4, 8), (8, 12), (12, 16)]   # (layers, ops per layer)
+
+
+def _prepared(layers, ops):
+    design = random_layered_design(seed=layers * 100 + ops, layers=layers,
+                                   ops_per_layer=ops, latency=6,
+                                   clock_period=2000.0)
+    timed = build_timed_dfg(design)
+    delays = {op.name: _LIBRARY.operation_delay(op)
+              for op in design.dfg.operations if op.kind is not OpKind.CONST}
+    return design, timed, delays
+
+
+@pytest.mark.parametrize("layers,ops", _SIZES)
+def test_sequential_slack_scaling(benchmark, layers, ops):
+    _, timed, delays = _prepared(layers, ops)
+    benchmark.group = f"slack-{layers}x{ops}"
+    result = benchmark(lambda: compute_sequential_slack(timed, delays, 2000.0))
+    assert result.slack
+
+
+@pytest.mark.parametrize("layers,ops", _SIZES)
+def test_bellman_ford_scaling(benchmark, layers, ops):
+    _, timed, delays = _prepared(layers, ops)
+    benchmark.group = f"slack-{layers}x{ops}"
+    result = benchmark(
+        lambda: compute_sequential_slack_bellman_ford(timed, delays, 2000.0))
+    assert result.slack
+
+
+def test_budgeting_cost_on_medium_design(benchmark):
+    design, _, _ = _prepared(8, 12)
+    result = benchmark(lambda: budget_slack(design, _LIBRARY, clock_period=2000.0))
+    assert result.iterations >= 0

@@ -1,0 +1,26 @@
+"""Paper Table 1: area/delay tradeoffs of the 8x8 multiplier and 16-bit adder.
+
+Regenerates the two published curves from the library and benchmarks the
+library characterisation itself.
+"""
+
+from repro.flows import format_table, table1_rows
+from repro.lib import TABLE1_ADD_16, TABLE1_MUL_8x8, tsmc90_library
+from repro.ir.operations import OpKind
+
+
+def test_table1_tradeoff_curves(benchmark, library):
+    header, rows = table1_rows(library)
+    print()
+    print(format_table(header, rows, title="Table 1. Area and delay trade-offs "
+                                           "for multiplier and adder"))
+
+    benchmark(lambda: tsmc90_library())
+
+    assert library.tradeoff_table(OpKind.MUL, 8) == list(TABLE1_MUL_8x8)
+    assert library.tradeoff_table(OpKind.ADD, 16) == list(TABLE1_ADD_16)
+    # Shape claims from the paper: 2-3x area span, 1.5-6x delay span.
+    for kind, width in ((OpKind.MUL, 8), (OpKind.ADD, 16)):
+        points = library.tradeoff_table(kind, width)
+        assert 1.4 <= points[-1][0] / points[0][0] <= 6.0
+        assert 1.7 <= points[0][1] / points[-1][1] <= 3.0

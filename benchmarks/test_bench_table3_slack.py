@@ -1,0 +1,49 @@
+"""Paper Table 3: sequential slack on the resizer's timed DFG.
+
+Prints the arrival/required/slack rows for a concrete (d, D, T) instantiation
+of the paper's symbolic regime (D + d < T < 2D) and checks them against the
+closed forms; benchmarks the slack computation itself.
+"""
+
+import pytest
+
+from repro.core.opspan import OperationSpans
+from repro.core.sequential_slack import compute_sequential_slack
+from repro.core.timed_dfg import build_timed_dfg
+from repro.flows import format_table
+from repro.workloads import resizer_main_design
+
+D_IO, D_OP, CLOCK = 50.0, 700.0, 1200.0   # satisfies D + d < T < 2D
+
+
+def test_table3_sequential_slack(benchmark):
+    design = resizer_main_design()
+    spans = OperationSpans(design, strict_io_successors=True)
+    timed = build_timed_dfg(design, spans=spans)
+    delays = {}
+    for op in design.dfg.operations:
+        if op.name in ("rd_a", "rd_b", "wr"):
+            delays[op.name] = D_IO
+        elif op.name in ("add", "div", "sub", "mul", "mux"):
+            delays[op.name] = D_OP
+
+    result = benchmark(lambda: compute_sequential_slack(timed, delays, CLOCK))
+
+    rows = [[op, f"{result.arrival[op]:.0f}", f"{result.required[op]:.0f}",
+             f"{result.slack[op]:.0f}"]
+            for op in ("rd_a", "add", "div", "sub", "rd_b", "mul", "mux", "wr")]
+    print()
+    print(format_table(["Op", "Arr(op)", "Req(op)", "slack(op)"], rows,
+                       title=f"Table 3 (d={D_IO:.0f}, D={D_OP:.0f}, T={CLOCK:.0f})"))
+
+    d, D, T = D_IO, D_OP, CLOCK
+    assert result.slack["rd_a"] == pytest.approx(2 * T - 4 * D - d)
+    assert result.slack["add"] == pytest.approx(2 * T - 4 * D - d)
+    assert result.slack["div"] == pytest.approx(2 * T - 4 * D - d)
+    assert result.slack["sub"] == pytest.approx(2 * T - 4 * D - d)
+    assert result.slack["mux"] == pytest.approx(2 * T - 4 * D - d)
+    assert result.slack["rd_b"] == pytest.approx(T - 2 * D - d)
+    assert result.slack["mul"] == pytest.approx(T - 2 * D - d)
+    assert result.slack["wr"] == pytest.approx(3 * T - 4 * D - 2 * d)
+    # Paper: rd_a -> add -> div -> sub -> mux is the critical path.
+    assert set(result.critical_operations()) == {"rd_a", "add", "div", "sub", "mux"}

@@ -1,0 +1,95 @@
+"""Paper Table 4 + Section VII ranges: the IDCT design-space exploration.
+
+Runs the conventional and the slack-based flow on the 15 IDCT design points
+(latencies 32..8, pipelined and not) and prints the per-point areas, the
+savings column and the power/throughput/area ranges.  Set ``REPRO_IDCT_ROWS=8``
+for the full 8x8 row pass (longer run time); the default of 2 rows preserves
+the shape of the results.
+
+Reproduction targets (shape, not absolute values):
+* the slack-based flow wins on most design points,
+* a handful of timing-dominated points may lose (the paper's D5-D7),
+* the average saving is in the high single digits / low tens of percent,
+* the sweep spans a wide power range and a multi-x throughput range.
+"""
+
+import pytest
+
+from conftest import idct_rows
+from repro.flows import format_table, idct_design_points, run_dse, table4_rows
+from repro.workloads import idct_design
+
+CLOCK = 1500.0
+
+
+@pytest.fixture(scope="module")
+def dse_result(library):
+    points = idct_design_points(clock_period=CLOCK)
+    rows = idct_rows()
+
+    def factory(point):
+        return idct_design(latency=point.latency, rows=rows,
+                           clock_period=point.clock_period,
+                           pipeline_ii=point.pipeline_ii)
+
+    return run_dse(factory, library, points)
+
+
+def test_table4_area_savings(benchmark, dse_result):
+    header, rows = table4_rows(dse_result)
+    print()
+    print(format_table(header, rows,
+                       title=f"Table 4. Area savings for timing-based approach "
+                             f"(IDCT rows={idct_rows()}, T={CLOCK:.0f} ps; "
+                             f"paper average: 8.9 %)"))
+
+    benchmark.pedantic(lambda: dse_result.average_saving_percent(),
+                       rounds=1, iterations=1)
+
+    assert len(dse_result.entries) == 15
+    # Every run must meet timing after "logic synthesis" (the RTL model).
+    for entry in dse_result.entries:
+        assert entry.conventional.meets_timing
+        assert entry.slack_based.meets_timing
+    # Shape: the slack-based flow wins on a clear majority of points ...
+    assert dse_result.wins() >= 9
+    # ... and the average saving is positive and paper-sized (the paper
+    # reports 8.9 %; we accept anything in the 3-30 % band).
+    average = dse_result.average_saving_percent()
+    assert 3.0 <= average <= 30.0
+
+
+def test_section7_exploration_ranges(benchmark, dse_result):
+    power_range = dse_result.power_range()
+    throughput_range = dse_result.throughput_range()
+    area_range = dse_result.area_range()
+    print()
+    print(format_table(
+        ["metric", "range (max/min)", "paper"],
+        [["power", f"{power_range:.1f}x", "~20x"],
+         ["throughput", f"{throughput_range:.1f}x", "~7x"],
+         ["area", f"{area_range:.2f}x", "~1.5x"]],
+        title="Section VII exploration ranges",
+    ))
+    benchmark.pedantic(lambda: dse_result.power_range(), rounds=1, iterations=1)
+    # Shape: a wide power range, a multi-x throughput range, a modest area range.
+    assert throughput_range >= 4.0
+    assert power_range >= 4.0
+    assert 1.1 <= area_range <= 4.0
+
+
+def test_pipelining_increases_area_and_throughput(benchmark, dse_result):
+    by_key = {(entry.point.latency, entry.point.pipeline_ii): entry
+              for entry in dse_result.entries}
+    benchmark.pedantic(lambda: len(by_key), rounds=1, iterations=1)
+    compared = 0
+    for (latency, ii), entry in by_key.items():
+        if ii is None:
+            continue
+        base = by_key.get((latency, None))
+        if base is None:
+            continue
+        compared += 1
+        assert entry.slack_based.throughput > base.slack_based.throughput
+        assert entry.area_slack >= base.area_slack * 0.95
+    assert compared >= 3

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file only exists
+so that ``pip install -e .`` keeps working on environments whose pip/wheel
+combination cannot build PEP 660 editable wheels (e.g. offline environments
+without the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,59 @@
+"""repro — reproduction of Kondratyev et al., "Exploiting Area/Delay Tradeoffs
+in High-Level Synthesis", DATE 2012.
+
+The package implements a complete high-level-synthesis (HLS) research stack:
+
+* :mod:`repro.ir` — behavioral intermediate representation (control-flow graph,
+  data-flow graph, operations, builder API and transforms).
+* :mod:`repro.frontend` — a small SystemC-like behavioral language that is
+  elaborated into the IR.
+* :mod:`repro.lib` — multi-speed-grade resource libraries (area/delay
+  tradeoff curves per operation kind and bit width).
+* :mod:`repro.core` — the paper's contribution: multi-cycle behavioral timing
+  analysis (timed DFG, sequential slack, aligned slack), slack budgeting and
+  the slack-guided scheduler.
+* :mod:`repro.sched`, :mod:`repro.bind` — scheduling and binding substrates.
+* :mod:`repro.rtl` — datapath construction, area/timing/power models and the
+  conventional post-scheduling area-recovery pass (the baseline flow's
+  "logic synthesis" stand-in).
+* :mod:`repro.flows` — end-to-end conventional and slack-based flows plus the
+  design-space-exploration harness used to regenerate the paper's tables.
+* :mod:`repro.workloads` — the paper's kernels (interpolation, resizer, IDCT)
+  and additional public-style kernels.
+
+Quickstart::
+
+    from repro.workloads import interpolation_design
+    from repro.lib import tsmc90_library
+    from repro.flows import conventional_flow, slack_based_flow
+
+    design = interpolation_design(unroll=4)
+    library = tsmc90_library()
+    conv = conventional_flow(design, library, clock_period=1100.0)
+    prop = slack_based_flow(design, library, clock_period=1100.0)
+    print(conv.area, prop.area)
+"""
+
+from repro._version import __version__
+from repro.errors import (
+    ReproError,
+    IRError,
+    ElaborationError,
+    LibraryError,
+    TimingError,
+    SchedulingError,
+    BindingError,
+    InfeasibleDesignError,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "IRError",
+    "ElaborationError",
+    "LibraryError",
+    "TimingError",
+    "SchedulingError",
+    "BindingError",
+    "InfeasibleDesignError",
+]

@@ -1,0 +1,23 @@
+"""Binding substrate: functional-unit sharing, registers and interconnect.
+
+Binding maps every scheduled operation onto a concrete functional-unit
+instance (the paper's ``bind: O -> Res`` mapping), allocates registers for
+values that cross state boundaries, and estimates the multiplexers required
+by the sharing decisions.  The resulting structure is consumed by the RTL
+area/timing/power models of :mod:`repro.rtl`.
+"""
+
+from repro.bind.binding import Binding, FUInstance, bind_operations
+from repro.bind.registers import RegisterAllocation, RegisterFile, allocate_registers
+from repro.bind.interconnect import InterconnectEstimate, estimate_interconnect
+
+__all__ = [
+    "Binding",
+    "FUInstance",
+    "bind_operations",
+    "RegisterAllocation",
+    "RegisterFile",
+    "allocate_registers",
+    "InterconnectEstimate",
+    "estimate_interconnect",
+]

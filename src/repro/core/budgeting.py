@@ -1,0 +1,280 @@
+"""Slack budgeting (paper Section V, Fig. 7).
+
+Budgeting distributes the sequential slack of the pre-schedule DFG over its
+operations by choosing a *speed grade* for each of them from the resource
+library's area/delay curve:
+
+1. every operation starts at its **slowest** (cheapest) grade;
+2. **negative** aligned slack is repaired by upgrading, one grade at a time,
+   the critical operation whose upgrade costs the least area per picosecond
+   gained;
+3. remaining **positive** slack is then consumed by downgrading operations —
+   largest area saving first — as long as the move fits inside the
+   operation's own slack (the zero-slack-algorithm safety condition) and the
+   recomputed aligned slack stays non-negative.
+
+Slack values within ``margin = margin_fraction * clock_period`` of each other
+are treated as equal ("slack binning"), which the paper reports speeds up
+convergence with negligible quality impact.
+
+The result maps every operation to a delay, a library variant and the final
+timing, and is consumed both by the slack-guided scheduler (as its initial
+resource selection) and by the stand-alone feasibility check of Prop. 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.errors import TimingError
+from repro.ir.design import Design
+from repro.ir.operations import Operation, OpKind
+from repro.lib.library import Library
+from repro.lib.resource import ResourceVariant
+from repro.core.latency import LatencyAnalysis
+from repro.core.opspan import OperationSpans
+from repro.core.sequential_slack import TimingResult, compute_sequential_slack
+from repro.core.timed_dfg import TimedDFG, build_timed_dfg
+
+_EPS = 1e-6
+
+
+@dataclass
+class BudgetingResult:
+    """Outcome of a slack-budgeting pass."""
+
+    clock_period: float
+    margin: float
+    delays: Dict[str, float]
+    variants: Dict[str, Optional[ResourceVariant]]
+    timing: TimingResult
+    feasible: bool
+    iterations: int
+    upgrades: int
+    downgrades: int
+    frozen: Set[str] = field(default_factory=set)
+
+    def delay_of(self, op_name: str) -> float:
+        return self.delays.get(op_name, 0.0)
+
+    def variant_of(self, op_name: str) -> Optional[ResourceVariant]:
+        return self.variants.get(op_name)
+
+    def total_variant_area(self) -> float:
+        """Sum of the areas of all selected variants (dedicated-resource area).
+
+        This is the pre-sharing area estimate the budgeting step optimises;
+        the post-binding area is computed by :mod:`repro.rtl.area`.
+        """
+        return sum(v.area for v in self.variants.values() if v is not None)
+
+    def grade_histogram(self) -> Dict[int, int]:
+        """How many operations ended up on each speed grade."""
+        histogram: Dict[int, int] = {}
+        for variant in self.variants.values():
+            if variant is None:
+                continue
+            histogram[variant.grade] = histogram.get(variant.grade, 0) + 1
+        return histogram
+
+
+class _BudgetState:
+    """Mutable per-operation state during budgeting."""
+
+    def __init__(self, design: Design, library: Library,
+                 initial_variants: Optional[Mapping[str, ResourceVariant]],
+                 pinned: Optional[Mapping[str, ResourceVariant]],
+                 start_from: str):
+        self.library = library
+        self.delays: Dict[str, float] = {}
+        self.variants: Dict[str, Optional[ResourceVariant]] = {}
+        self.pinned: Set[str] = set()
+        self.frozen: Set[str] = set()
+        self.ops: Dict[str, Operation] = {}
+
+        for op in design.dfg.operations:
+            if op.kind is OpKind.CONST:
+                continue
+            self.ops[op.name] = op
+            if pinned and op.name in pinned:
+                variant = pinned[op.name]
+                self.variants[op.name] = variant
+                self.delays[op.name] = library.operation_delay(op, variant)
+                self.pinned.add(op.name)
+                continue
+            if not op.is_synthesizable:
+                self.variants[op.name] = None
+                self.delays[op.name] = library.operation_delay(op)
+                self.pinned.add(op.name)
+                continue
+            if initial_variants and op.name in initial_variants:
+                variant = initial_variants[op.name]
+            elif start_from == "slowest":
+                variant = library.slowest_variant(op)
+            else:
+                variant = library.fastest_variant(op)
+            self.variants[op.name] = variant
+            self.delays[op.name] = variant.delay
+
+    def movable(self, name: str) -> bool:
+        return name not in self.pinned and name not in self.frozen
+
+    def set_variant(self, name: str, variant: ResourceVariant) -> None:
+        self.variants[name] = variant
+        self.delays[name] = variant.delay
+
+    def resource_class(self, name: str):
+        return self.library.class_for_op(self.ops[name])
+
+
+def budget_slack(
+    design: Design,
+    library: Library,
+    clock_period: float,
+    margin_fraction: float = 0.05,
+    aligned: bool = True,
+    spans: Optional[OperationSpans] = None,
+    latency: Optional[LatencyAnalysis] = None,
+    timed: Optional[TimedDFG] = None,
+    initial_variants: Optional[Mapping[str, ResourceVariant]] = None,
+    pinned_variants: Optional[Mapping[str, ResourceVariant]] = None,
+    start_from: str = "slowest",
+    max_iterations: Optional[int] = None,
+) -> BudgetingResult:
+    """Run the slack-budgeting algorithm of Fig. 7 on ``design``.
+
+    Parameters
+    ----------
+    design, library, clock_period:
+        The design, the resource library and the target clock period (ps).
+    margin_fraction:
+        Slack-binning margin as a fraction of the clock period (paper: 5 %).
+    aligned:
+        Use aligned slack (clock-boundary aware); the paper's algorithm does.
+    spans, latency, timed:
+        Optional pre-computed analyses, shared by callers that re-budget
+        repeatedly (the slack-guided scheduler).
+    initial_variants:
+        Warm-start grades (used when re-budgeting during scheduling).
+    pinned_variants:
+        Grades that must not change (already-scheduled operations).
+    start_from:
+        ``"slowest"`` (paper default) or ``"fastest"`` initial grades for
+        operations without a warm start.
+    max_iterations:
+        Safety bound; defaults to ``20 * num_ops * max_grades``.
+    """
+    if clock_period <= 0:
+        raise TimingError("clock period must be positive")
+    latency = latency or LatencyAnalysis(design.cfg)
+    spans = spans or OperationSpans(design, latency=latency)
+    timed = timed or build_timed_dfg(design, spans=spans, latency=latency)
+    margin = abs(margin_fraction) * clock_period
+
+    state = _BudgetState(design, library, initial_variants, pinned_variants, start_from)
+    max_grades = max((library.class_for_op(op).num_grades
+                      for op in state.ops.values() if op.is_synthesizable), default=1)
+    iteration_budget = max_iterations or (20 * max(len(state.ops), 1) * max_grades)
+
+    iterations = 0
+    upgrades = 0
+    downgrades = 0
+
+    def recompute() -> TimingResult:
+        return compute_sequential_slack(timed, state.delays, clock_period,
+                                        aligned=aligned)
+
+    timing = recompute()
+
+    # ---- step 3 of Fig. 7: repair negative aligned slack by speeding up ---------
+    while timing.worst_slack() < -_EPS and iterations < iteration_budget:
+        worst = timing.worst_slack()
+        # Candidates: every operation still violating timing (binned to the
+        # worst value first, then any violator — alignment effects can give
+        # the true culprit a slightly less negative slack than the worst op,
+        # e.g. when the worst op is an un-upgradable I/O operation).
+        critical = [name for name in timing.critical_operations(margin)
+                    if state.movable(name)]
+        violators = [name for name, value in timing.slack.items()
+                     if value < -_EPS and state.movable(name)]
+
+        def cheapest_upgrade(names):
+            best: Optional[Tuple[float, str, ResourceVariant]] = None
+            for name in names:
+                variant = state.variants[name]
+                if variant is None:
+                    continue
+                faster = state.resource_class(name).next_faster(variant)
+                if faster is None:
+                    continue
+                gain = variant.delay - faster.delay
+                if gain <= _EPS:
+                    continue
+                cost = (faster.area - variant.area) / gain
+                if best is None or cost < best[0]:
+                    best = (cost, name, faster)
+            return best
+
+        best_choice = cheapest_upgrade(critical) or cheapest_upgrade(violators)
+        if best_choice is None:
+            break  # nothing left to speed up: infeasible at this clock period
+        _, name, faster = best_choice
+        state.set_variant(name, faster)
+        upgrades += 1
+        iterations += 1
+        timing = recompute()
+
+    # ---- step 4 of Fig. 7: distribute positive slack by slowing down ------------
+    feasible_baseline = timing.worst_slack() >= -_EPS
+    while iterations < iteration_budget:
+        candidates: List[Tuple[float, float, str, ResourceVariant]] = []
+        for name, variant in state.variants.items():
+            if variant is None or not state.movable(name):
+                continue
+            slack = timing.slack_of(name)
+            if slack <= margin + _EPS:
+                continue
+            slower = state.resource_class(name).next_slower(variant)
+            if slower is None:
+                continue
+            delay_increase = slower.delay - variant.delay
+            if delay_increase > slack + _EPS:
+                continue
+            saving = variant.area - slower.area
+            if saving <= _EPS:
+                continue
+            candidates.append((saving, slack, name, slower))
+        if not candidates:
+            break
+        candidates.sort(key=lambda item: (-item[0], -item[1], item[2]))
+        accepted = False
+        for saving, slack, name, slower in candidates:
+            previous = state.variants[name]
+            state.set_variant(name, slower)
+            iterations += 1
+            trial = recompute()
+            worst_ok = (trial.worst_slack() >= -_EPS) if feasible_baseline else (
+                trial.worst_slack() >= timing.worst_slack() - _EPS)
+            if worst_ok:
+                timing = trial
+                downgrades += 1
+                accepted = True
+                break
+            state.set_variant(name, previous)
+            state.frozen.add(name)
+        if not accepted:
+            break
+
+    return BudgetingResult(
+        clock_period=clock_period,
+        margin=margin,
+        delays=dict(state.delays),
+        variants=dict(state.variants),
+        timing=timing,
+        feasible=timing.worst_slack() >= -_EPS,
+        iterations=iterations,
+        upgrades=upgrades,
+        downgrades=downgrades,
+        frozen=set(state.frozen),
+    )

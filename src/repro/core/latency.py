@@ -1,0 +1,197 @@
+"""Latency between CFG edges (paper Section V, Definition 1).
+
+``latency(e1, e2)`` is the minimum number of state nodes on any forward path
+between ``e1`` and ``e2``; it is undefined (``None``) when ``e2`` is not
+forward reachable from ``e1``, and 0 when ``e1 == e2``.
+
+The node set counted on a path from edge ``e1`` to edge ``e2`` is
+``{head(e1), ..., tail(e2)}`` — i.e. the nodes traversed after leaving ``e1``
+and before entering ``e2``, endpoints included.  This convention reproduces
+the paper's examples on Fig. 4: ``latency(e4, e6) = 0`` (the two edges share
+the join node, which is not a state), ``latency(e1, e7) = 2`` (the path
+crosses one branch wait plus the final wait) and ``latency(e3, e4)`` is
+undefined (parallel branches).
+
+The analysis also exposes node-to-node minimum state counts and edge
+dominance/post-dominance relations, which the opSpan computation needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import TimingError
+from repro.ir.cfg import CFG
+
+_INF = float("inf")
+
+
+class LatencyAnalysis:
+    """Pre-computed latency, reachability and dominance queries on a CFG."""
+
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+        cfg.classify_backward_edges()
+        self._topo_nodes = cfg.topological_nodes()
+        self._node_pos = {node: index for index, node in enumerate(self._topo_nodes)}
+        self._forward_edges = [e.name for e in cfg.forward_edges]
+        self._edge_pos = {name: index for index, name in
+                         enumerate(cfg.topological_edges())}
+        self._state_weight = {
+            node.name: (1 if node.is_state else 0) for node in cfg.nodes
+        }
+        # node -> {reachable node -> min state count including both endpoints}
+        self._node_latency: Dict[str, Dict[str, float]] = {}
+        self._edge_dominators: Optional[Dict[str, Set[str]]] = None
+        self._edge_postdominators: Optional[Dict[str, Set[str]]] = None
+
+    # -- node-level helpers ------------------------------------------------------
+
+    def _node_latencies_from(self, source: str) -> Dict[str, float]:
+        """Min state count from ``source`` to every forward-reachable node.
+
+        The count includes both endpoints (a state node contributes even when
+        it is the source or the destination of the walk).
+        """
+        cached = self._node_latency.get(source)
+        if cached is not None:
+            return cached
+        dist: Dict[str, float] = {name: _INF for name in self.cfg.node_names}
+        dist[source] = float(self._state_weight[source])
+        source_pos = self._node_pos[source]
+        for node in self._topo_nodes[source_pos:]:
+            if dist[node] == _INF:
+                continue
+            for edge in self.cfg.out_edges(node, forward_only=True):
+                candidate = dist[node] + self._state_weight[edge.dst]
+                if candidate < dist[edge.dst]:
+                    dist[edge.dst] = candidate
+        self._node_latency[source] = dist
+        return dist
+
+    # -- public queries ------------------------------------------------------------
+
+    def edge_order(self, edge_name: str) -> int:
+        """Topological position of a forward edge (used for 'first'/'last')."""
+        try:
+            return self._edge_pos[edge_name]
+        except KeyError:
+            raise TimingError(f"{edge_name!r} is not a forward CFG edge") from None
+
+    def latency(self, edge_a: str, edge_b: str) -> Optional[int]:
+        """Latency between edges ``edge_a`` and ``edge_b`` (None if undefined)."""
+        if edge_a == edge_b:
+            return 0
+        a = self.cfg.edge(edge_a)
+        b = self.cfg.edge(edge_b)
+        dist = self._node_latencies_from(a.dst)
+        value = dist.get(b.src, _INF)
+        if value == _INF:
+            return None
+        return int(value)
+
+    def reachable(self, edge_a: str, edge_b: str) -> bool:
+        """True if ``edge_b`` is forward reachable from ``edge_a`` (non-strict)."""
+        return self.latency(edge_a, edge_b) is not None
+
+    def strictly_reachable(self, edge_a: str, edge_b: str) -> bool:
+        """True if ``edge_b`` is reachable from ``edge_a`` and differs from it."""
+        return edge_a != edge_b and self.reachable(edge_a, edge_b)
+
+    # -- edge dominance -------------------------------------------------------------
+
+    def _edge_graph(self) -> Tuple[Dict[str, List[str]], Dict[str, List[str]], List[str]]:
+        """Successor/predecessor maps of the forward *edge* graph.
+
+        In the edge graph every forward CFG edge is a vertex and edge ``a``
+        points to edge ``b`` whenever ``head(a) == tail(b)``.
+        """
+        succ: Dict[str, List[str]] = {name: [] for name in self._forward_edges}
+        pred: Dict[str, List[str]] = {name: [] for name in self._forward_edges}
+        for a in self._forward_edges:
+            head = self.cfg.edge(a).dst
+            for out in self.cfg.out_edges(head, forward_only=True):
+                succ[a].append(out.name)
+                pred[out.name].append(a)
+        ordered = sorted(self._forward_edges, key=self._edge_pos.__getitem__)
+        return succ, pred, ordered
+
+    def _compute_dominators(self) -> None:
+        succ, pred, ordered = self._edge_graph()
+        universe = set(ordered)
+
+        # Entry edges: forward edges with no forward predecessor edges.
+        dom: Dict[str, Set[str]] = {}
+        for edge in ordered:
+            dom[edge] = {edge} if not pred[edge] else set(universe)
+        changed = True
+        while changed:
+            changed = False
+            for edge in ordered:
+                if not pred[edge]:
+                    continue
+                meet = set(universe)
+                for p in pred[edge]:
+                    meet &= dom[p]
+                candidate = {edge} | meet
+                if candidate != dom[edge]:
+                    dom[edge] = candidate
+                    changed = True
+        self._edge_dominators = dom
+
+        pdom: Dict[str, Set[str]] = {}
+        reverse_order = list(reversed(ordered))
+        for edge in ordered:
+            pdom[edge] = {edge} if not succ[edge] else set(universe)
+        changed = True
+        while changed:
+            changed = False
+            for edge in reverse_order:
+                if not succ[edge]:
+                    continue
+                meet = set(universe)
+                for s in succ[edge]:
+                    meet &= pdom[s]
+                candidate = {edge} | meet
+                if candidate != pdom[edge]:
+                    pdom[edge] = candidate
+                    changed = True
+        self._edge_postdominators = pdom
+
+    def dominates(self, edge_a: str, edge_b: str) -> bool:
+        """True if every forward path reaching ``edge_b`` passes through ``edge_a``."""
+        if self._edge_dominators is None:
+            self._compute_dominators()
+        return edge_a in self._edge_dominators.get(edge_b, set())
+
+    def postdominates(self, edge_a: str, edge_b: str) -> bool:
+        """True if every forward path leaving ``edge_b`` passes through ``edge_a``."""
+        if self._edge_postdominators is None:
+            self._compute_dominators()
+        return edge_a in self._edge_postdominators.get(edge_b, set())
+
+    def control_compatible(self, edge: str, birth_edge: str) -> bool:
+        """True if an operation born on ``birth_edge`` may execute on ``edge``.
+
+        Hoisting (speculation) above a branch is allowed when ``edge``
+        dominates the birth edge; sinking below a join is allowed when
+        ``edge`` post-dominates the birth edge.  Moving sideways into a
+        different branch is never allowed — the operation would not execute
+        on every run that needs its value.
+        """
+        if edge == birth_edge:
+            return True
+        return self.dominates(edge, birth_edge) or self.postdominates(edge, birth_edge)
+
+    @property
+    def forward_edge_names(self) -> List[str]:
+        """Forward edges in topological order."""
+        return sorted(self._forward_edges, key=self._edge_pos.__getitem__)
+
+    def first_edge(self) -> str:
+        """The first forward edge in topological order."""
+        return self.forward_edge_names[0]
+
+    def last_edge(self) -> str:
+        """The last forward edge in topological order."""
+        return self.forward_edge_names[-1]

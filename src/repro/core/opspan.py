@@ -1,0 +1,256 @@
+"""Operation spans (paper Section IV, Definition 4).
+
+The *opSpan* of an operation is the topologically ordered set of CFG edges it
+may legally be scheduled on.  Its first element is the *early* edge, its last
+the *late* edge.  The rules implemented here (and spelled out in DESIGN.md)
+are:
+
+* Fixed operations (port I/O, or anything marked ``fixed``) may only be
+  scheduled on their birth edge.
+* An operation may be *hoisted* above a branch (speculation) — to an edge
+  that dominates its birth edge — or *sunk* below a join — to an edge that
+  post-dominates its birth edge — but never moved sideways into a different
+  branch.
+* The early edge is the first control-compatible edge reachable from the
+  early edge of every (non-constant) data predecessor.
+* The late edge is the last control-compatible edge from which the late edge
+  of every data successor is still reachable.  With
+  ``strict_io_successors=True`` reachability is strict when the successor is
+  a fixed I/O operation (the operation's result must be registered before
+  the protocol-fixed cycle instead of chaining combinationally into it).
+* Operations flagged ``branch_condition`` resolve a CFG branch and therefore
+  cannot be postponed past their birth edge.
+
+The paper is not fully self-consistent about chaining into fixed I/O
+operations: its Fig. 2 schedules chain the final addition into the state of
+the output write, while its Table 3 requires ``late(mux) = e6`` (one state
+before the write).  Both behaviours are supported; the default
+(``strict_io_successors=False``) matches the scheduling figures and the
+flows, while the strict setting reproduces every Table 3 recurrence
+verbatim (see ``tests/test_table3_closed_forms.py``).  Early edges —
+``span(div)`` starting at ``e1``, ``early(mul) = e5``, ``early(mux) = e6``,
+``span(wr) = {e7}`` — are reproduced in both modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import TimingError
+from repro.ir.design import Design
+from repro.ir.operations import Operation, OpKind
+from repro.core.latency import LatencyAnalysis
+
+
+@dataclass(frozen=True)
+class SpanInfo:
+    """The opSpan of one operation."""
+
+    op: str
+    early: str
+    late: str
+    edges: tuple
+
+    @property
+    def is_fixed(self) -> bool:
+        """True when the operation has a single legal edge."""
+        return len(self.edges) == 1
+
+    def __contains__(self, edge_name: str) -> bool:
+        return edge_name in self.edges
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+
+class OperationSpans:
+    """Computes and stores the opSpan of every operation of a design.
+
+    Parameters
+    ----------
+    design:
+        The design to analyse.
+    latency:
+        Optional pre-built :class:`LatencyAnalysis` (shared across passes).
+    pinned:
+        Optional mapping ``op name -> CFG edge`` of operations already
+        scheduled; their span collapses to that single edge.  Used by the
+        slack-guided scheduler when it recomputes spans after every edge.
+    not_before:
+        Optional CFG edge name; unscheduled operations may not be placed on
+        edges that precede it in topological order (the scheduler has already
+        passed those edges).
+    strict_io_successors:
+        When True, an operation feeding a fixed I/O operation must complete
+        in an earlier state (no combinational chaining into the I/O edge).
+    """
+
+    def __init__(
+        self,
+        design: Design,
+        latency: Optional[LatencyAnalysis] = None,
+        pinned: Optional[Dict[str, str]] = None,
+        not_before: Optional[str] = None,
+        strict_io_successors: bool = False,
+    ):
+        self.design = design
+        self.latency = latency or LatencyAnalysis(design.cfg)
+        self.strict_io_successors = strict_io_successors
+        self._pinned = dict(pinned or {})
+        self._not_before_pos = (
+            self.latency.edge_order(not_before) if not_before is not None else None
+        )
+        self._spans: Dict[str, SpanInfo] = {}
+        self._compute()
+
+    # -- computation -------------------------------------------------------------
+
+    def _candidate_edges(self, birth_edge: str, respect_floor: bool) -> List[str]:
+        """Control-compatible edges for an op born on ``birth_edge``."""
+        edges = [
+            edge for edge in self.latency.forward_edge_names
+            if self.latency.control_compatible(edge, birth_edge)
+        ]
+        if respect_floor and self._not_before_pos is not None:
+            edges = [
+                edge for edge in edges
+                if self.latency.edge_order(edge) >= self._not_before_pos
+            ]
+        return edges
+
+    def _data_predecessors(self, op: Operation) -> List[Operation]:
+        dfg = self.design.dfg
+        preds = []
+        for name in dfg.predecessors(op.name):
+            pred = dfg.op(name)
+            if pred.kind is OpKind.CONST:
+                continue  # constants do not constrain timing (paper Def. 2 step 2)
+            preds.append(pred)
+        return preds
+
+    def _data_successors(self, op: Operation) -> List[Operation]:
+        dfg = self.design.dfg
+        return [dfg.op(name) for name in dfg.successors(op.name)]
+
+    def _compute(self) -> None:
+        dfg = self.design.dfg
+        order = dfg.topological_order()
+        early: Dict[str, str] = {}
+        late: Dict[str, str] = {}
+
+        # Forward pass: early edges.
+        for name in order:
+            op = dfg.op(name)
+            pinned_edge = self._pinned.get(name)
+            if pinned_edge is not None:
+                early[name] = pinned_edge
+                continue
+            if op.is_fixed:
+                early[name] = self._require_birth(op)
+                continue
+            birth = self._require_birth(op)
+            candidates = self._candidate_edges(birth, respect_floor=True)
+            preds = self._data_predecessors(op)
+            chosen = None
+            for edge in candidates:
+                if all(self.latency.reachable(early[p.name], edge) for p in preds):
+                    chosen = edge
+                    break
+            if chosen is None:
+                raise TimingError(
+                    f"operation {name!r} has no feasible early edge "
+                    f"(birth {birth!r}); the design is structurally infeasible"
+                )
+            early[name] = chosen
+
+        # Backward pass: late edges.
+        for name in reversed(order):
+            op = dfg.op(name)
+            pinned_edge = self._pinned.get(name)
+            if pinned_edge is not None:
+                late[name] = pinned_edge
+                continue
+            if op.is_fixed or op.attrs.get("branch_condition"):
+                late[name] = self._require_birth(op)
+                continue
+            birth = self._require_birth(op)
+            candidates = self._candidate_edges(birth, respect_floor=False)
+            succs = self._data_successors(op)
+            chosen = None
+            for edge in reversed(candidates):
+                if not self.latency.reachable(early[name], edge):
+                    continue
+                ok = True
+                for succ in succs:
+                    succ_late = late[succ.name]
+                    if succ.is_fixed and self.strict_io_successors:
+                        if not self.latency.strictly_reachable(edge, succ_late):
+                            ok = False
+                            break
+                    else:
+                        if not self.latency.reachable(edge, succ_late):
+                            ok = False
+                            break
+                if ok:
+                    chosen = edge
+                    break
+            if chosen is None:
+                # Fall back to the early edge: the operation has no mobility.
+                chosen = early[name]
+            late[name] = chosen
+
+        # Assemble span sets.
+        for name in order:
+            op = dfg.op(name)
+            birth = self._require_birth(op)
+            if name in self._pinned:
+                edges = (self._pinned[name],)
+            else:
+                edges = tuple(
+                    edge for edge in self._candidate_edges(birth, respect_floor=False)
+                    if self.latency.reachable(early[name], edge)
+                    and self.latency.reachable(edge, late[name])
+                )
+                if not edges:
+                    edges = (early[name],)
+            self._spans[name] = SpanInfo(op=name, early=early[name],
+                                         late=late[name], edges=edges)
+
+    def _require_birth(self, op: Operation) -> str:
+        if op.birth_edge is None:
+            raise TimingError(f"operation {op.name!r} has no birth edge")
+        if not self.design.cfg.has_edge(op.birth_edge):
+            raise TimingError(
+                f"operation {op.name!r} born on unknown edge {op.birth_edge!r}"
+            )
+        return op.birth_edge
+
+    # -- queries --------------------------------------------------------------------
+
+    def span(self, op_name: str) -> SpanInfo:
+        try:
+            return self._spans[op_name]
+        except KeyError:
+            raise TimingError(f"no span computed for operation {op_name!r}") from None
+
+    def early(self, op_name: str) -> str:
+        return self.span(op_name).early
+
+    def late(self, op_name: str) -> str:
+        return self.span(op_name).late
+
+    def edges(self, op_name: str) -> List[str]:
+        return list(self.span(op_name).edges)
+
+    def all_spans(self) -> Dict[str, SpanInfo]:
+        return dict(self._spans)
+
+    def mobility(self, op_name: str) -> int:
+        """Number of states the operation can move across (span latency)."""
+        info = self.span(op_name)
+        value = self.latency.latency(info.early, info.late)
+        return 0 if value is None else value
+
+    def __repr__(self):  # pragma: no cover - cosmetic
+        return f"OperationSpans({len(self._spans)} operations)"

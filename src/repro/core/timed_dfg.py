@@ -1,0 +1,188 @@
+"""The timed DFG (paper Section V, Definition 2).
+
+The timed DFG is the netlist-like graph on which sequential slack is
+computed.  It is derived from the DFG by:
+
+1. dropping backward (loop-carried) data edges, which makes it acyclic;
+2. dropping constant inputs (they never affect timing);
+3. adding a *sink* node ``s(o)`` for every operation ``o``, whose early edge
+   is the late edge of ``o`` — the sink models "the latest point where o's
+   result must be committed to a register";
+4. weighting every edge with the CFG latency between the early edges of its
+   endpoints (the number of clock boundaries that may separate them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import TimingError
+from repro.ir.design import Design
+from repro.ir.operations import OpKind
+from repro.core.latency import LatencyAnalysis
+from repro.core.opspan import OperationSpans
+
+
+SINK_PREFIX = "__sink__"
+
+
+def sink_name(op_name: str) -> str:
+    """Name of the sink node attached to operation ``op_name``."""
+    return SINK_PREFIX + op_name
+
+
+def is_sink_name(node_name: str) -> bool:
+    return node_name.startswith(SINK_PREFIX)
+
+
+@dataclass(frozen=True)
+class TimedEdge:
+    """A weighted edge of the timed DFG."""
+
+    src: str
+    dst: str
+    weight: int
+
+
+class TimedDFG:
+    """An acyclic, latency-weighted view of a DFG."""
+
+    def __init__(self, name: str = "timed_dfg"):
+        self.name = name
+        self._nodes: List[str] = []
+        self._node_set: Dict[str, bool] = {}
+        self._edges: List[TimedEdge] = []
+        self._succ: Dict[str, List[TimedEdge]] = {}
+        self._pred: Dict[str, List[TimedEdge]] = {}
+        self._topo: Optional[List[str]] = None
+
+    # -- construction -----------------------------------------------------------
+
+    def add_node(self, name: str) -> None:
+        if name in self._node_set:
+            raise TimingError(f"duplicate timed-DFG node {name!r}")
+        self._nodes.append(name)
+        self._node_set[name] = True
+        self._succ[name] = []
+        self._pred[name] = []
+        self._topo = None
+
+    def add_edge(self, src: str, dst: str, weight: int) -> None:
+        for endpoint in (src, dst):
+            if endpoint not in self._node_set:
+                raise TimingError(f"timed-DFG edge references unknown node {endpoint!r}")
+        if weight < 0:
+            raise TimingError("timed-DFG edge weights are state counts and must be >= 0")
+        edge = TimedEdge(src, dst, int(weight))
+        self._edges.append(edge)
+        self._succ[src].append(edge)
+        self._pred[dst].append(edge)
+        self._topo = None
+
+    # -- accessors ---------------------------------------------------------------
+
+    @property
+    def nodes(self) -> List[str]:
+        return list(self._nodes)
+
+    @property
+    def edges(self) -> List[TimedEdge]:
+        return list(self._edges)
+
+    @property
+    def operation_nodes(self) -> List[str]:
+        """Nodes that correspond to real DFG operations (not sinks)."""
+        return [n for n in self._nodes if not is_sink_name(n)]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def has_node(self, name: str) -> bool:
+        return name in self._node_set
+
+    def successors(self, name: str) -> List[TimedEdge]:
+        return list(self._succ[name])
+
+    def predecessors(self, name: str) -> List[TimedEdge]:
+        return list(self._pred[name])
+
+    def topological_order(self) -> List[str]:
+        """Topological order of all nodes; cached."""
+        if self._topo is not None:
+            return list(self._topo)
+        indeg = {name: len(self._pred[name]) for name in self._nodes}
+        position = {name: index for index, name in enumerate(self._nodes)}
+        ready = sorted((n for n, d in indeg.items() if d == 0),
+                       key=position.__getitem__)
+        order: List[str] = []
+        while ready:
+            node = ready.pop(0)
+            order.append(node)
+            fresh = []
+            for edge in self._succ[node]:
+                indeg[edge.dst] -= 1
+                if indeg[edge.dst] == 0:
+                    fresh.append(edge.dst)
+            fresh.sort(key=position.__getitem__)
+            ready.extend(fresh)
+            ready.sort(key=position.__getitem__)
+        if len(order) != len(self._nodes):
+            raise TimingError("timed DFG is cyclic — backward edges were not removed")
+        self._topo = order
+        return list(order)
+
+    def __repr__(self):  # pragma: no cover - cosmetic
+        return f"TimedDFG({self.name}: {len(self._nodes)} nodes, {len(self._edges)} edges)"
+
+
+def build_timed_dfg(
+    design: Design,
+    spans: Optional[OperationSpans] = None,
+    latency: Optional[LatencyAnalysis] = None,
+    include_sinks: bool = True,
+) -> TimedDFG:
+    """Construct the timed DFG of ``design``.
+
+    Constant operations are excluded (step 2 of the paper's Definition 2);
+    every remaining operation keeps its name, so delay maps and timing
+    results are keyed directly by DFG operation names.
+    """
+    latency = latency or LatencyAnalysis(design.cfg)
+    spans = spans or OperationSpans(design, latency=latency)
+    timed = TimedDFG(f"{design.name}.timed")
+
+    dfg = design.dfg
+    included = [op.name for op in dfg.operations if op.kind is not OpKind.CONST]
+    for name in included:
+        timed.add_node(name)
+
+    for edge in dfg.forward_edges:
+        if not (timed.has_node(edge.src) and timed.has_node(edge.dst)):
+            continue
+        src_early = spans.early(edge.src)
+        dst_early = spans.early(edge.dst)
+        weight = latency.latency(src_early, dst_early)
+        if weight is None:
+            raise TimingError(
+                f"data edge {edge.src!r} -> {edge.dst!r} connects operations whose "
+                f"early edges ({src_early!r}, {dst_early!r}) are not forward related"
+            )
+        timed.add_edge(edge.src, edge.dst, weight)
+
+    if include_sinks:
+        for name in included:
+            sink = sink_name(name)
+            timed.add_node(sink)
+            weight = latency.latency(spans.early(name), spans.late(name))
+            if weight is None:
+                raise TimingError(
+                    f"operation {name!r} has a late edge unreachable from its early edge"
+                )
+            timed.add_edge(name, sink, weight)
+    return timed

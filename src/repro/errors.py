@@ -1,0 +1,57 @@
+"""Exception hierarchy used across the repro package.
+
+All exceptions raised intentionally by the library derive from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause while still letting programming errors (``TypeError``,
+``KeyError`` on internal maps, ...) surface normally.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class IRError(ReproError):
+    """Raised for malformed CFG/DFG structures (validation failures)."""
+
+
+class ElaborationError(ReproError):
+    """Raised when the frontend cannot lower a specification to the IR."""
+
+
+class ParseError(ElaborationError):
+    """Raised by the DSL lexer/parser for syntactically invalid input."""
+
+    def __init__(self, message, line=None, column=None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class LibraryError(ReproError):
+    """Raised for inconsistent resource-library definitions or lookups."""
+
+
+class TimingError(ReproError):
+    """Raised by the timing-analysis engines for invalid inputs."""
+
+
+class SchedulingError(ReproError):
+    """Raised when a scheduling pass fails on a valid input."""
+
+
+class BindingError(ReproError):
+    """Raised when binding/sharing cannot be completed."""
+
+
+class InfeasibleDesignError(SchedulingError):
+    """Raised when no relaxation can make the design schedulable.
+
+    Mirrors the "design is overconstrained" outcome of the expert system in
+    the paper's Fig. 8 scheduling framework.
+    """

@@ -1,0 +1,39 @@
+"""End-to-end HLS flows and the design-space-exploration harness.
+
+* :func:`conventional_flow` — the baseline of the paper: fastest resources,
+  mobility-driven list scheduling, binding, then RTL-style within-state area
+  recovery.  With ``initial_grades="slowest"`` it becomes the paper's
+  "Case 2" strategy (slowest resources, upgraded on the fly).
+* :func:`slack_based_flow` — the proposed flow: slack budgeting, slack-guided
+  scheduling with per-edge re-budgeting, grade-aware binding, area recovery.
+* :mod:`repro.flows.dse` — sweeps latency/pipelining design points and runs
+  both flows on each (paper Table 4 and the §VII power/throughput ranges).
+* :mod:`repro.flows.report` — text tables matching the paper's layout.
+"""
+
+from repro.flows.result import FlowResult
+from repro.flows.conventional import conventional_flow
+from repro.flows.slack_based import slack_based_flow
+from repro.flows.dse import DesignPoint, DSEResult, run_dse, idct_design_points
+from repro.flows.report import (
+    format_table,
+    table1_rows,
+    table2_rows,
+    table4_rows,
+    table5_rows,
+)
+
+__all__ = [
+    "FlowResult",
+    "conventional_flow",
+    "slack_based_flow",
+    "DesignPoint",
+    "DSEResult",
+    "run_dse",
+    "idct_design_points",
+    "format_table",
+    "table1_rows",
+    "table2_rows",
+    "table4_rows",
+    "table5_rows",
+]

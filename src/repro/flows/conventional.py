@@ -1,0 +1,114 @@
+"""The conventional HLS flow (the paper's baseline).
+
+1. Allocate the fastest resource variant for every operation.
+2. Resource-constrained list scheduling (mobility priority) with the
+   "expert system" relaxation loop.
+3. Binding, register allocation and interconnect estimation.
+4. RTL-style **within-state** area recovery (the only area optimisation the
+   conventional methodology performs).
+
+Setting ``initial_grades="slowest"`` turns this into the paper's "Case 2"
+strategy: start from the slowest resources and upgrade them on the fly
+whenever scheduling hits a timing failure.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+from repro.errors import ReproError
+from repro.ir.design import Design
+from repro.ir.operations import OpKind
+from repro.lib.library import Library
+from repro.lib.resource import ResourceVariant
+from repro.core.latency import LatencyAnalysis
+from repro.core.opspan import OperationSpans
+from repro.flows.result import FlowResult
+from repro.rtl.area import area_report
+from repro.rtl.area_recovery import recover_area
+from repro.rtl.datapath import build_datapath
+from repro.rtl.power import power_report
+from repro.rtl.timing import analyze_state_timing
+from repro.sched.priorities import mobility_priority
+from repro.sched.relaxation import schedule_with_relaxation
+
+
+def conventional_flow(
+    design: Design,
+    library: Library,
+    clock_period: Optional[float] = None,
+    initial_grades: str = "fastest",
+    pipeline_ii: Optional[int] = None,
+    timing_margin: float = 0.0,
+    area_recovery: bool = True,
+    register_margin: float = 0.0,
+) -> FlowResult:
+    """Run the conventional flow on ``design`` and return a :class:`FlowResult`."""
+    clock_period = clock_period or design.clock_period
+    if clock_period is None:
+        raise ReproError("a clock period is required (argument or design attribute)")
+    pipeline_ii = pipeline_ii if pipeline_ii is not None else design.pipeline_ii
+
+    start_time = time.perf_counter()
+    latency = LatencyAnalysis(design.cfg)
+    spans = OperationSpans(design, latency=latency)
+
+    variants: Dict[str, Optional[ResourceVariant]] = {}
+    for op in design.dfg.operations:
+        if op.kind is OpKind.CONST:
+            continue
+        if not op.is_synthesizable:
+            variants[op.name] = None
+        elif initial_grades == "slowest":
+            variants[op.name] = library.slowest_variant(op)
+        else:
+            variants[op.name] = library.fastest_variant(op)
+
+    scheduling_start = time.perf_counter()
+    schedule, allocation, final_variants, relax_log = schedule_with_relaxation(
+        design, library, clock_period, variants,
+        spans=spans, latency=latency,
+        priority=mobility_priority(spans),
+        pipeline_ii=pipeline_ii,
+        timing_margin=timing_margin,
+    )
+    scheduling_seconds = time.perf_counter() - scheduling_start
+
+    datapath = build_datapath(design, library, schedule, pipeline_ii=pipeline_ii)
+    recovery = None
+    if area_recovery:
+        recovery = recover_area(datapath, register_margin=register_margin)
+        datapath.refresh_interconnect()
+
+    timing = analyze_state_timing(datapath, register_margin=register_margin)
+    area = area_report(datapath)
+    power = power_report(datapath)
+    runtime = time.perf_counter() - start_time
+
+    details: Dict[str, object] = {
+        "initial_grades": initial_grades,
+        "relaxation_attempts": relax_log.attempts,
+        "resources_added": list(relax_log.resources_added),
+        "grade_upgrades": list(relax_log.upgrades),
+    }
+    if recovery is not None:
+        details["area_recovery_downgrades"] = recovery.downgrades
+        details["area_recovery_saved"] = recovery.area_saved
+
+    return FlowResult(
+        flow="conventional" if initial_grades == "fastest" else "slowest-first",
+        design_name=design.name,
+        clock_period=clock_period,
+        schedule=schedule,
+        datapath=datapath,
+        area=area,
+        power=power,
+        timing=timing,
+        allocation=allocation,
+        runtime_seconds=runtime,
+        scheduling_seconds=scheduling_seconds,
+        latency_steps=schedule.latency_steps(),
+        meets_timing=timing.meets_timing(),
+        details=details,
+    )

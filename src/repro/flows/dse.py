@@ -1,0 +1,156 @@
+"""Design-space exploration harness (paper Section VII, Table 4).
+
+The paper evaluates its approach on 15 HLS + logic-synthesis runs of an IDCT,
+sweeping latency (32 down to 8 states) and pipelining, and reports the area
+of the conventional flow versus the slack-based flow for every design point.
+:func:`run_dse` reproduces that experiment: it builds one design per point,
+runs both flows and collects areas, powers, throughputs and run times.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.ir.design import Design
+from repro.lib.library import Library
+from repro.flows.conventional import conventional_flow
+from repro.flows.result import FlowResult
+from repro.flows.slack_based import slack_based_flow
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One DSE design point."""
+
+    name: str
+    latency: int
+    pipeline_ii: Optional[int] = None
+    clock_period: float = 1500.0
+
+    @property
+    def is_pipelined(self) -> bool:
+        return self.pipeline_ii is not None
+
+    @property
+    def iteration_interval(self) -> int:
+        """States between successive kernel starts (II if pipelined, else latency)."""
+        return self.pipeline_ii if self.pipeline_ii is not None else self.latency
+
+
+@dataclass
+class DSEEntry:
+    """Results of both flows for one design point."""
+
+    point: DesignPoint
+    conventional: FlowResult
+    slack_based: FlowResult
+
+    @property
+    def area_conventional(self) -> float:
+        return self.conventional.total_area
+
+    @property
+    def area_slack(self) -> float:
+        return self.slack_based.total_area
+
+    @property
+    def saving_percent(self) -> float:
+        if self.area_conventional <= 0:
+            return 0.0
+        return 100.0 * (self.area_conventional - self.area_slack) / self.area_conventional
+
+
+@dataclass
+class DSEResult:
+    """The full sweep."""
+
+    entries: List[DSEEntry] = field(default_factory=list)
+    wall_time_seconds: float = 0.0
+
+    def average_saving_percent(self) -> float:
+        if not self.entries:
+            return 0.0
+        return sum(entry.saving_percent for entry in self.entries) / len(self.entries)
+
+    def area_range(self, flow: str = "slack") -> float:
+        """max/min area ratio across design points for one flow."""
+        areas = [entry.area_slack if flow == "slack" else entry.area_conventional
+                 for entry in self.entries]
+        if not areas or min(areas) <= 0:
+            return 0.0
+        return max(areas) / min(areas)
+
+    def power_range(self, flow: str = "slack") -> float:
+        powers = [entry.slack_based.total_power if flow == "slack"
+                  else entry.conventional.total_power for entry in self.entries]
+        if not powers or min(powers) <= 0:
+            return 0.0
+        return max(powers) / min(powers)
+
+    def throughput_range(self) -> float:
+        values = [entry.slack_based.throughput for entry in self.entries]
+        if not values or min(values) <= 0:
+            return 0.0
+        return max(values) / min(values)
+
+    def wins(self) -> int:
+        """Number of design points where the slack-based flow is smaller."""
+        return sum(1 for entry in self.entries if entry.saving_percent > 0)
+
+    def losses(self) -> int:
+        return sum(1 for entry in self.entries if entry.saving_percent < 0)
+
+
+def idct_design_points(clock_period: float = 1500.0) -> List[DesignPoint]:
+    """The 15 IDCT design points mirroring the paper's Table 4 sweep.
+
+    Eight non-pipelined points sweep the latency from 32 down to 8 states;
+    seven pipelined points add initiation intervals down to a quarter of the
+    latency, which together give roughly the paper's 7x throughput range.
+    """
+    non_pipelined = [32, 28, 24, 20, 16, 12, 10, 8]
+    pipelined = [(32, 16), (24, 12), (20, 10), (16, 8), (16, 4), (12, 6), (8, 4)]
+    points: List[DesignPoint] = []
+    for index, latency in enumerate(non_pipelined, start=1):
+        points.append(DesignPoint(name=f"D{index}", latency=latency,
+                                  clock_period=clock_period))
+    for offset, (latency, ii) in enumerate(pipelined, start=len(non_pipelined) + 1):
+        points.append(DesignPoint(name=f"D{offset}", latency=latency,
+                                  pipeline_ii=ii, clock_period=clock_period))
+    return points
+
+
+def run_dse(
+    design_factory: Callable[[DesignPoint], Design],
+    library: Library,
+    points: Sequence[DesignPoint],
+    flows: Sequence[str] = ("conventional", "slack"),
+    margin_fraction: float = 0.05,
+) -> DSEResult:
+    """Run the conventional and slack-based flows over all ``points``.
+
+    ``design_factory`` maps a :class:`DesignPoint` to a :class:`Design`
+    (typically a lambda around :func:`repro.workloads.idct_design`).
+    """
+    if "conventional" not in flows or "slack" not in flows:
+        raise ReproError("the DSE harness compares the conventional and slack flows; "
+                         "both must be enabled")
+    start = time.perf_counter()
+    result = DSEResult()
+    for point in points:
+        design = design_factory(point)
+        conventional = conventional_flow(
+            design, library, clock_period=point.clock_period,
+            pipeline_ii=point.pipeline_ii,
+        )
+        slack = slack_based_flow(
+            design, library, clock_period=point.clock_period,
+            pipeline_ii=point.pipeline_ii, margin_fraction=margin_fraction,
+        )
+        result.entries.append(DSEEntry(point=point, conventional=conventional,
+                                       slack_based=slack))
+    result.wall_time_seconds = time.perf_counter() - start
+    return result

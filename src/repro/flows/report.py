@@ -1,0 +1,104 @@
+"""Report helpers: regenerate the paper's tables as plain-text rows.
+
+Each ``tableN_rows`` helper returns a header plus data rows (lists of
+strings) so benchmarks, examples and tests can print or assert on the same
+representation.  :func:`format_table` renders them with aligned columns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.ir.operations import OpKind
+from repro.lib.library import Library
+from repro.flows.result import FlowResult
+
+
+def format_table(header: Sequence[str], rows: Iterable[Sequence[str]],
+                 title: Optional[str] = None) -> str:
+    """Render rows with aligned, space-padded columns."""
+    rows = [list(map(str, row)) for row in rows]
+    header = list(map(str, header))
+    widths = [len(h) for h in header]
+    for row in rows:
+        for index, cell in enumerate(row):
+            if index >= len(widths):
+                widths.append(len(cell))
+            else:
+                widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def table1_rows(library: Library) -> Tuple[List[str], List[List[str]]]:
+    """Paper Table 1: area/delay points of the 8x8 multiplier and 16-bit adder."""
+    header = ["resource", "metric"] + [f"g{i}" for i in range(6)]
+    rows: List[List[str]] = []
+    for label, kind, width in (("Mul 8*8bit", OpKind.MUL, 8),
+                               ("Add 16bit", OpKind.ADD, 16)):
+        points = library.tradeoff_table(kind, width)
+        rows.append([label, "delay(ps)"] + [f"{delay:.0f}" for delay, _ in points])
+        rows.append([label, "area"] + [f"{area:.0f}" for _, area in points])
+    return header, rows
+
+
+def table2_rows(case1: FlowResult, case2: FlowResult, slack: FlowResult,
+                ) -> Tuple[List[str], List[List[str]]]:
+    """Paper Table 2: the three interpolation scheduling strategies."""
+    header = ["Impl.", "FU area", "total area", "mults", "adders", "meets timing"]
+
+    def row(label: str, result: FlowResult) -> List[str]:
+        mults = sum(1 for i in result.datapath.binding.instances
+                    if i.class_key[0] == "mul")
+        adders = sum(1 for i in result.datapath.binding.instances
+                     if i.class_key[0] in ("add", "sub"))
+        return [
+            label,
+            f"{result.datapath.binding.total_fu_area():.0f}",
+            f"{result.total_area:.0f}",
+            str(mults),
+            str(adders),
+            "yes" if result.meets_timing else "no",
+        ]
+
+    return header, [
+        row("Case1 (fastest+ASAP)", case1),
+        row("Case2 (slowest+upgrade)", case2),
+        row("Slack-based", slack),
+    ]
+
+
+def table4_rows(dse_result) -> Tuple[List[str], List[List[str]]]:
+    """Paper Table 4: per-design-point areas and savings."""
+    header = ["Des", "latency", "II", "A_conv", "A_slack", "Save %"]
+    rows = []
+    for entry in dse_result.entries:
+        rows.append([
+            entry.point.name,
+            str(entry.point.latency),
+            str(entry.point.pipeline_ii or "-"),
+            f"{entry.area_conventional:.0f}",
+            f"{entry.area_slack:.0f}",
+            f"{entry.saving_percent:.1f}",
+        ])
+    rows.append(["Average", "", "", "", "", f"{dse_result.average_saving_percent():.1f}"])
+    return header, rows
+
+
+def table5_rows(conventional_seconds: float, slack_seconds: float,
+                bellman_ford_seconds: float) -> Tuple[List[str], List[List[str]]]:
+    """Paper Table 5: relative scheduling execution times."""
+    header = ["Conventional", "Sequential slack based", "Bellman-Ford based"]
+    base = conventional_seconds if conventional_seconds > 0 else 1.0
+    rows = [[
+        "1.00",
+        f"{slack_seconds / base:.2f}",
+        f"{bellman_ford_seconds / base:.2f}",
+    ]]
+    return header, rows

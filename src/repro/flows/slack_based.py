@@ -1,0 +1,98 @@
+"""The slack-based HLS flow (the paper's proposal, Fig. 8 with bold steps).
+
+1. Slack budgeting selects a speed grade per operation from the library's
+   area/delay curves (fast grades only where the sequential slack demands it).
+2. Slack-guided list scheduling with re-budgeting after every CFG edge.
+3. Grade-aware binding, register allocation, interconnect estimation.
+4. The same within-state area recovery as the conventional flow is applied at
+   the end ("if successful, do area recovery" — it can only help, and makes
+   the comparison with the baseline fair).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+from repro.errors import ReproError
+from repro.ir.design import Design
+from repro.lib.library import Library
+from repro.core.slack_scheduler import SlackScheduler
+from repro.flows.result import FlowResult
+from repro.rtl.area import area_report
+from repro.rtl.area_recovery import recover_area
+from repro.rtl.datapath import build_datapath
+from repro.rtl.power import power_report
+from repro.rtl.timing import analyze_state_timing
+
+
+def slack_based_flow(
+    design: Design,
+    library: Library,
+    clock_period: Optional[float] = None,
+    margin_fraction: float = 0.05,
+    rebudget_every_edge: bool = True,
+    pipeline_ii: Optional[int] = None,
+    timing_margin: float = 0.0,
+    area_recovery: bool = True,
+    register_margin: float = 0.0,
+) -> FlowResult:
+    """Run the slack-based flow on ``design`` and return a :class:`FlowResult`."""
+    clock_period = clock_period or design.clock_period
+    if clock_period is None:
+        raise ReproError("a clock period is required (argument or design attribute)")
+    pipeline_ii = pipeline_ii if pipeline_ii is not None else design.pipeline_ii
+
+    start_time = time.perf_counter()
+    scheduler = SlackScheduler(
+        design, library, clock_period,
+        margin_fraction=margin_fraction,
+        rebudget_every_edge=rebudget_every_edge,
+        pipeline_ii=pipeline_ii,
+        timing_margin=timing_margin,
+    )
+    scheduling_start = time.perf_counter()
+    result = scheduler.run()
+    scheduling_seconds = time.perf_counter() - scheduling_start
+
+    datapath = build_datapath(design, library, result.schedule,
+                              pipeline_ii=pipeline_ii)
+    recovery = None
+    if area_recovery:
+        recovery = recover_area(datapath, register_margin=register_margin)
+        datapath.refresh_interconnect()
+
+    timing = analyze_state_timing(datapath, register_margin=register_margin)
+    area = area_report(datapath)
+    power = power_report(datapath)
+    runtime = time.perf_counter() - start_time
+
+    details: Dict[str, object] = {
+        "initial_budget_feasible": result.initial_budget.feasible,
+        "initial_budget_iterations": result.initial_budget.iterations,
+        "budget_grade_histogram": result.initial_budget.grade_histogram(),
+        "rebudget_count": result.rebudget_count,
+        "relaxation_attempts": result.relaxation.attempts,
+        "resources_added": list(result.relaxation.resources_added),
+        "grade_upgrades": list(result.relaxation.upgrades),
+    }
+    if recovery is not None:
+        details["area_recovery_downgrades"] = recovery.downgrades
+        details["area_recovery_saved"] = recovery.area_saved
+
+    return FlowResult(
+        flow="slack-based",
+        design_name=design.name,
+        clock_period=clock_period,
+        schedule=result.schedule,
+        datapath=datapath,
+        area=area,
+        power=power,
+        timing=timing,
+        allocation=result.allocation,
+        runtime_seconds=runtime,
+        scheduling_seconds=scheduling_seconds,
+        latency_steps=result.schedule.latency_steps(),
+        meets_timing=timing.meets_timing(),
+        details=details,
+    )

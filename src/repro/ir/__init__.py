@@ -1,0 +1,57 @@
+"""Behavioral intermediate representation (IR) used by the HLS flows.
+
+The IR follows the paper's formulation (Section IV):
+
+* a **control-flow graph** (:class:`repro.ir.cfg.CFG`) whose nodes either
+  fork/join control flow or are *state nodes* (``wait()`` calls), and whose
+  edges carry operations;
+* a **data-flow graph** (:class:`repro.ir.dfg.DFG`) whose vertices are
+  operations and whose edges are data dependencies;
+* two mappings relating them: ``birth`` (the CFG edge an operation comes from
+  in the source code) and ``sched`` (the CFG edge chosen by scheduling).
+
+A :class:`repro.ir.design.Design` bundles one CFG and one DFG together with
+the birth mapping and design-level constraints.
+"""
+
+from repro.ir.operations import (
+    OpKind,
+    Operation,
+    COMMUTATIVE_KINDS,
+    COMPARISON_KINDS,
+    IO_KINDS,
+    is_io,
+    is_fixed_kind,
+    is_synthesizable,
+)
+from repro.ir.cfg import CFG, CFGNode, CFGEdge, NodeKind
+from repro.ir.dfg import DFG, DataEdge
+from repro.ir.design import Design
+from repro.ir.builder import DesignBuilder, LinearDesignBuilder
+from repro.ir.validate import validate_cfg, validate_dfg, validate_design
+from repro.ir.dot import cfg_to_dot, dfg_to_dot
+
+__all__ = [
+    "OpKind",
+    "Operation",
+    "COMMUTATIVE_KINDS",
+    "COMPARISON_KINDS",
+    "IO_KINDS",
+    "is_io",
+    "is_fixed_kind",
+    "is_synthesizable",
+    "CFG",
+    "CFGNode",
+    "CFGEdge",
+    "NodeKind",
+    "DFG",
+    "DataEdge",
+    "Design",
+    "DesignBuilder",
+    "LinearDesignBuilder",
+    "validate_cfg",
+    "validate_dfg",
+    "validate_design",
+    "cfg_to_dot",
+    "dfg_to_dot",
+]

@@ -1,0 +1,182 @@
+"""Builder APIs for constructing designs programmatically.
+
+Two builders are provided:
+
+* :class:`DesignBuilder` — thin convenience layer over CFG/DFG construction
+  with automatic name generation; used by the workload generators and by the
+  frontend elaborator.
+* :class:`LinearDesignBuilder` — builds the common "straight-line pipeline"
+  shape: a single chain of CFG edges separated by state nodes, wrapped in an
+  implicit ``while (true)`` outer loop, which is exactly the shape of the
+  paper's interpolation and IDCT designs after loop unrolling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import IRError
+from repro.ir.cfg import CFG, NodeKind
+from repro.ir.design import Design
+from repro.ir.dfg import DFG
+from repro.ir.operations import Operation, OpKind
+
+
+class DesignBuilder:
+    """Incremental builder for CFG + DFG with automatic unique naming."""
+
+    def __init__(self, name: str = "design"):
+        self.name = name
+        self.cfg = CFG(f"{name}.cfg")
+        self.dfg = DFG(f"{name}.dfg")
+        self._counters: Dict[str, int] = {}
+        self.clock_period: Optional[float] = None
+        self.pipeline_ii: Optional[int] = None
+        self.allow_extra_states: bool = False
+        self.attrs: Dict[str, object] = {}
+
+    # -- naming --------------------------------------------------------------------
+
+    def unique(self, prefix: str) -> str:
+        """Return a fresh name ``prefix_<n>``."""
+        index = self._counters.get(prefix, 0)
+        self._counters[prefix] = index + 1
+        return f"{prefix}_{index}"
+
+    # -- CFG helpers -----------------------------------------------------------------
+
+    def start_node(self, name: str = "start"):
+        return self.cfg.add_node(name, NodeKind.START)
+
+    def state_node(self, name: Optional[str] = None):
+        return self.cfg.add_node(name or self.unique("s"), NodeKind.STATE)
+
+    def plain_node(self, name: Optional[str] = None, kind: NodeKind = NodeKind.PLAIN):
+        return self.cfg.add_node(name or self.unique("n"), kind)
+
+    def edge(self, src: str, dst: str, name: Optional[str] = None,
+             backward: Optional[bool] = None, condition: Optional[str] = None):
+        return self.cfg.add_edge(name or self.unique("e"), src, dst,
+                                 backward=backward, condition=condition)
+
+    # -- DFG helpers ------------------------------------------------------------------
+
+    def op(
+        self,
+        kind: OpKind,
+        birth_edge: str,
+        name: Optional[str] = None,
+        width: int = 32,
+        operand_widths: Tuple[int, ...] = (),
+        inputs: Sequence[str] = (),
+        fixed: bool = False,
+        value: Optional[int] = None,
+        **attrs,
+    ) -> Operation:
+        """Add an operation born on ``birth_edge`` and wire its inputs."""
+        if not self.cfg.has_edge(birth_edge):
+            raise IRError(f"birth edge {birth_edge!r} does not exist in the CFG")
+        op = self.dfg.add_op(
+            name or self.unique(kind.value),
+            kind,
+            width=width,
+            operand_widths=operand_widths,
+            birth_edge=birth_edge,
+            fixed=fixed,
+            value=value,
+            **attrs,
+        )
+        for port, src in enumerate(inputs):
+            self.dfg.connect(src, op.name, dst_port=port)
+        return op
+
+    def const(self, value: int, birth_edge: str, width: int = 32,
+              name: Optional[str] = None) -> Operation:
+        return self.op(OpKind.CONST, birth_edge, name=name, width=width,
+                       operand_widths=(), value=value)
+
+    def read(self, port: str, birth_edge: str, width: int = 32,
+             name: Optional[str] = None) -> Operation:
+        op = self.op(OpKind.READ, birth_edge, name=name or self.unique(f"rd_{port}"),
+                     width=width, operand_widths=(), fixed=True)
+        op.attrs["port"] = port
+        return op
+
+    def write(self, port: str, birth_edge: str, value_op: str, width: int = 32,
+              name: Optional[str] = None) -> Operation:
+        op = self.op(OpKind.WRITE, birth_edge, name=name or self.unique(f"wr_{port}"),
+                     width=width, operand_widths=(width,), inputs=[value_op], fixed=True)
+        op.attrs["port"] = port
+        return op
+
+    def binary(self, kind: OpKind, lhs: str, rhs: str, birth_edge: str,
+               width: int = 32, name: Optional[str] = None,
+               operand_widths: Tuple[int, int] = None) -> Operation:
+        widths = operand_widths or (width, width)
+        return self.op(kind, birth_edge, name=name, width=width,
+                       operand_widths=widths, inputs=[lhs, rhs])
+
+    def loop_carry(self, src: str, dst: str, dst_port: int = 0) -> None:
+        """Mark a loop-carried dependency (backward DFG edge)."""
+        self.dfg.connect(src, dst, dst_port=dst_port, backward=True)
+
+    # -- finalisation -------------------------------------------------------------------
+
+    def build(self) -> Design:
+        self.cfg.classify_backward_edges()
+        return Design(
+            name=self.name,
+            cfg=self.cfg,
+            dfg=self.dfg,
+            clock_period=self.clock_period,
+            pipeline_ii=self.pipeline_ii,
+            allow_extra_states=self.allow_extra_states,
+            attrs=dict(self.attrs),
+        )
+
+
+class LinearDesignBuilder(DesignBuilder):
+    """Builds a linear chain of states: ``start -e1-> s1 -e2-> s2 ... -> loop``.
+
+    The resulting CFG is::
+
+        start --e1--> s1 --e2--> s2 ... --e<n>--> s<n> --back--> s1'
+
+    i.e. ``num_states`` state nodes separated by edges ``e1..e<n>`` plus a
+    final backward edge closing the implicit ``while (true)`` process loop.
+    Operations are then attached to the numbered edges with :meth:`on_edge`.
+    """
+
+    def __init__(self, name: str = "design", num_states: int = 1):
+        super().__init__(name)
+        if num_states < 1:
+            raise IRError("a linear design needs at least one state")
+        self.num_states = num_states
+        self._edge_names: List[str] = []
+        self._build_skeleton()
+
+    def _build_skeleton(self) -> None:
+        self.start_node("start")
+        previous = "start"
+        for index in range(1, self.num_states + 1):
+            state = f"s{index}"
+            self.state_node(state)
+            edge = f"e{index}"
+            self.edge(previous, state, name=edge)
+            self._edge_names.append(edge)
+            previous = state
+        # Close the process loop: last state back to the first edge's head.
+        self.edge(previous, "start", name="loop_back", backward=True)
+
+    @property
+    def edge_names(self) -> List[str]:
+        """The forward edge names ``["e1", ..., "eN"]`` in execution order."""
+        return list(self._edge_names)
+
+    def edge_for_step(self, step: int) -> str:
+        """The CFG edge name for 1-based control step ``step``."""
+        if not 1 <= step <= self.num_states:
+            raise IRError(
+                f"step {step} out of range 1..{self.num_states} for {self.name}"
+            )
+        return self._edge_names[step - 1]

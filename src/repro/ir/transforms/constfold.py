@@ -1,0 +1,104 @@
+"""Constant folding on the DFG.
+
+Operations whose forward inputs are all ``CONST`` operations are evaluated at
+compile time and replaced by a single constant.  Folding is iterated to a
+fixed point in topological order, so chains of constant arithmetic collapse
+in one call.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.ir.dfg import DFG
+from repro.ir.operations import OpKind
+
+
+def _mask(value: int, width: int) -> int:
+    """Wrap ``value`` to a signed ``width``-bit integer (two's complement)."""
+    if width <= 0:
+        return value
+    modulus = 1 << width
+    value %= modulus
+    if value >= modulus // 2:
+        value -= modulus
+    return value
+
+
+def _evaluate(kind: OpKind, operands, width: int) -> Optional[int]:
+    """Evaluate ``kind`` on integer operands; None if not evaluable."""
+    try:
+        if kind is OpKind.ADD:
+            return _mask(operands[0] + operands[1], width)
+        if kind is OpKind.SUB:
+            return _mask(operands[0] - operands[1], width)
+        if kind is OpKind.MUL:
+            return _mask(operands[0] * operands[1], width)
+        if kind is OpKind.DIV:
+            return _mask(int(operands[0] / operands[1]), width) if operands[1] else None
+        if kind is OpKind.MOD:
+            return _mask(operands[0] % operands[1], width) if operands[1] else None
+        if kind is OpKind.NEG:
+            return _mask(-operands[0], width)
+        if kind is OpKind.ABS:
+            return _mask(abs(operands[0]), width)
+        if kind is OpKind.AND:
+            return _mask(operands[0] & operands[1], width)
+        if kind is OpKind.OR:
+            return _mask(operands[0] | operands[1], width)
+        if kind is OpKind.XOR:
+            return _mask(operands[0] ^ operands[1], width)
+        if kind is OpKind.NOT:
+            return _mask(~operands[0], width)
+        if kind is OpKind.SHL:
+            return _mask(operands[0] << operands[1], width)
+        if kind is OpKind.SHR:
+            return _mask(operands[0] >> operands[1], width)
+        if kind is OpKind.LT:
+            return int(operands[0] < operands[1])
+        if kind is OpKind.GT:
+            return int(operands[0] > operands[1])
+        if kind is OpKind.LE:
+            return int(operands[0] <= operands[1])
+        if kind is OpKind.GE:
+            return int(operands[0] >= operands[1])
+        if kind is OpKind.EQ:
+            return int(operands[0] == operands[1])
+        if kind is OpKind.NE:
+            return int(operands[0] != operands[1])
+        if kind is OpKind.COPY:
+            return operands[0]
+    except (IndexError, ValueError, OverflowError):
+        return None
+    return None
+
+
+def constant_fold(dfg: DFG) -> int:
+    """Fold constant operations in place; returns the number folded."""
+    folded = 0
+    for name in dfg.topological_order():
+        if not dfg.has_op(name):
+            continue
+        op = dfg.op(name)
+        if op.kind in (OpKind.CONST, OpKind.READ, OpKind.WRITE, OpKind.MUX):
+            continue
+        in_edges = dfg.in_edges(name, forward_only=False)
+        if not in_edges or any(e.backward for e in in_edges):
+            continue
+        sources = [dfg.op(e.src) for e in sorted(in_edges, key=lambda e: e.dst_port)]
+        if not all(src.kind is OpKind.CONST for src in sources):
+            continue
+        value = _evaluate(op.kind, [src.value for src in sources], op.width)
+        if value is None:
+            continue
+        # Turn the operation into a constant and detach its inputs.
+        op.kind = OpKind.CONST
+        op.value = value
+        op.operand_widths = ()
+        for edge in list(in_edges):
+            # Remove only the edges into this op; inputs stay (DCE cleans them).
+            dfg._pred[name] = []          # noqa: SLF001 - intentional internal edit
+            dfg._succ[edge.src] = [e for e in dfg._succ[edge.src] if e.dst != name]
+            dfg._edges = [e for e in dfg._edges if not (e.dst == name)]
+        folded += 1
+    return folded

@@ -1,0 +1,33 @@
+"""Dead-code elimination on the DFG.
+
+An operation is *live* if it is a side-effecting operation (port write) or if
+its result transitively reaches one, including through loop-carried
+(backward) data edges.  Everything else is removed.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.ir.dfg import DFG
+from repro.ir.operations import OpKind
+
+
+def dead_code_elimination(dfg: DFG) -> int:
+    """Remove dead operations in place; returns the number removed."""
+    live: Set[str] = set()
+    worklist = [op.name for op in dfg.operations
+                if op.kind is OpKind.WRITE or op.attrs.get("keep")]
+    while worklist:
+        name = worklist.pop()
+        if name in live:
+            continue
+        live.add(name)
+        for edge in dfg.in_edges(name, forward_only=False):
+            if edge.src not in live:
+                worklist.append(edge.src)
+
+    dead = [name for name in dfg.op_names if name not in live]
+    for name in dead:
+        dfg.remove_operation(name)
+    return len(dead)

@@ -1,0 +1,73 @@
+"""Strength reduction: multiplications/divisions by powers of two -> shifts.
+
+Shifts by a constant are essentially free in hardware (wiring), so this
+transform can remove multiplier resources entirely for some kernels.  It is
+optional and off by default in the flows; the paper's experiments do not use
+it, but it is a natural extension knob for the DSE harness.
+"""
+
+from __future__ import annotations
+
+from repro.ir.dfg import DFG
+from repro.ir.operations import OpKind
+
+
+def _log2_exact(value: int) -> int:
+    """Return log2(value) if value is a positive power of two, else -1."""
+    if value <= 0 or value & (value - 1):
+        return -1
+    return value.bit_length() - 1
+
+
+def strength_reduce(dfg: DFG) -> int:
+    """Rewrite ``x * 2^k`` as ``x << k`` (and ``x / 2^k`` as ``x >> k``).
+
+    Returns the number of operations rewritten.
+    """
+    rewritten = 0
+    for op in dfg.operations:
+        if op.kind not in (OpKind.MUL, OpKind.DIV):
+            continue
+        in_edges = sorted(dfg.in_edges(op.name, forward_only=False),
+                          key=lambda e: e.dst_port)
+        if len(in_edges) != 2:
+            continue
+        const_edge = None
+        for edge in in_edges:
+            src = dfg.op(edge.src)
+            if src.kind is OpKind.CONST and src.value is not None:
+                shift = _log2_exact(src.value)
+                if shift >= 0:
+                    const_edge = (edge, shift)
+        if const_edge is None:
+            continue
+        edge, shift = const_edge
+        if op.kind is OpKind.DIV and edge.dst_port == 0:
+            # 2^k / x is not a shift; only x / 2^k qualifies.
+            continue
+        op.kind = OpKind.SHL if op.kind is OpKind.MUL else OpKind.SHR
+        source = dfg.op(edge.src)
+        other_consumers = [e for e in dfg.out_edges(edge.src, forward_only=False)
+                           if not (e.dst == op.name and e.dst_port == edge.dst_port)]
+        if other_consumers:
+            # The constant feeds other operations too: introduce a dedicated
+            # shift-amount constant instead of corrupting the shared one.
+            shift_const = dfg.add_op(
+                f"{op.name}_shamt", OpKind.CONST, width=source.width,
+                birth_edge=source.birth_edge, value=shift,
+            )
+            dfg._succ[edge.src] = [e for e in dfg._succ[edge.src]          # noqa: SLF001
+                                   if not (e.dst == op.name and
+                                           e.dst_port == edge.dst_port)]
+            dfg._pred[op.name] = [e for e in dfg._pred[op.name]            # noqa: SLF001
+                                  if not (e.src == edge.src and
+                                          e.dst_port == edge.dst_port)]
+            dfg._edges = [e for e in dfg._edges                            # noqa: SLF001
+                          if not (e.src == edge.src and e.dst == op.name and
+                                  e.dst_port == edge.dst_port)]
+            dfg.connect(shift_const.name, op.name, dst_port=edge.dst_port)
+        else:
+            source.value = shift
+        op.attrs["strength_reduced"] = True
+        rewritten += 1
+    return rewritten

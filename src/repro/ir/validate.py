@@ -1,0 +1,126 @@
+"""Structural validation of CFG, DFG and whole designs.
+
+Validation is deliberately strict: the timing-analysis and scheduling engines
+assume a well-formed IR, so every malformed structure should be rejected with
+a clear message at construction/elaboration time rather than producing a
+silently wrong schedule.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import IRError
+from repro.ir.cfg import CFG, NodeKind
+from repro.ir.design import Design
+from repro.ir.dfg import DFG
+from repro.ir.operations import OpKind
+
+
+def validate_cfg(cfg: CFG) -> List[str]:
+    """Validate a CFG; returns a list of warnings, raises on hard errors.
+
+    Hard errors:
+
+    * no start node, or nodes unreachable from the start node;
+    * the forward subgraph contains a cycle (a loop without a backward edge);
+    * a state node with no outgoing edge (control would stall forever).
+
+    Warnings (returned, not raised):
+
+    * branch nodes with a single successor;
+    * merge nodes with a single predecessor.
+    """
+    warnings: List[str] = []
+    start = cfg.start  # raises if missing
+    cfg.classify_backward_edges()
+
+    reachable = cfg.forward_reachable_nodes(start)
+    # Also allow reachability through backward edges for the check below:
+    # nodes only reachable via a back edge are still part of the process loop.
+    frontier = list(reachable)
+    full_reach = set(reachable)
+    while frontier:
+        node = frontier.pop()
+        for edge in cfg.out_edges(node):
+            if edge.dst not in full_reach:
+                full_reach.add(edge.dst)
+                frontier.append(edge.dst)
+    unreachable = [n.name for n in cfg.nodes if n.name not in full_reach]
+    if unreachable:
+        raise IRError(f"CFG nodes unreachable from start: {sorted(unreachable)}")
+
+    # Forward acyclicity (raises internally if cyclic).
+    cfg.topological_nodes()
+
+    for node in cfg.nodes:
+        out_count = len(cfg.out_edges(node.name))
+        in_count = len(cfg.in_edges(node.name))
+        if node.kind is NodeKind.STATE and out_count == 0:
+            raise IRError(f"state node {node.name!r} has no outgoing edge")
+        if node.kind is NodeKind.BRANCH and out_count < 2:
+            warnings.append(f"branch node {node.name!r} has {out_count} successor(s)")
+        if node.kind is NodeKind.MERGE and in_count < 2:
+            warnings.append(f"merge node {node.name!r} has {in_count} predecessor(s)")
+    return warnings
+
+
+def validate_dfg(dfg: DFG) -> List[str]:
+    """Validate a DFG; returns warnings, raises on hard errors.
+
+    Hard errors:
+
+    * forward cycles (combinational loops);
+    * operations consuming more operands than their declared operand count
+      (a ``dst_port`` beyond ``operand_widths``) when widths were declared;
+    * constants with missing values.
+
+    Warnings:
+
+    * synthesizable operations with no inputs (other than READ/CONST);
+    * dangling operations (no inputs and no outputs).
+    """
+    warnings: List[str] = []
+    dfg.topological_order()  # raises on forward cycles
+
+    for op in dfg.operations:
+        in_edges = dfg.in_edges(op.name, forward_only=False)
+        out_edges = dfg.out_edges(op.name, forward_only=False)
+        if op.kind is OpKind.CONST and op.value is None:
+            raise IRError(f"constant operation {op.name!r} has no value")
+        if op.operand_widths:
+            max_port = max((e.dst_port for e in in_edges), default=-1)
+            if max_port >= len(op.operand_widths):
+                raise IRError(
+                    f"operation {op.name!r} uses operand port {max_port} but only "
+                    f"{len(op.operand_widths)} operand widths are declared"
+                )
+        if op.is_synthesizable and not in_edges:
+            warnings.append(f"operation {op.name!r} ({op.kind.value}) has no inputs")
+        if not in_edges and not out_edges:
+            warnings.append(f"operation {op.name!r} is dangling")
+    return warnings
+
+
+def validate_design(design: Design) -> List[str]:
+    """Validate the CFG, the DFG and their birth mapping."""
+    warnings = []
+    warnings.extend(validate_cfg(design.cfg))
+    warnings.extend(validate_dfg(design.dfg))
+    for op in design.dfg.operations:
+        if op.birth_edge is None:
+            raise IRError(f"operation {op.name!r} has no birth edge")
+        if not design.cfg.has_edge(op.birth_edge):
+            raise IRError(
+                f"operation {op.name!r} is born on unknown CFG edge {op.birth_edge!r}"
+            )
+        edge = design.cfg.edge(op.birth_edge)
+        if edge.backward:
+            raise IRError(
+                f"operation {op.name!r} is born on backward edge {op.birth_edge!r}"
+            )
+    if design.clock_period is not None and design.clock_period <= 0:
+        raise IRError("clock period must be positive")
+    if design.pipeline_ii is not None and design.pipeline_ii < 1:
+        raise IRError("pipeline initiation interval must be >= 1")
+    return warnings

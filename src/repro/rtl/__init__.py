@@ -1,0 +1,30 @@
+"""RTL-level models: datapath assembly, area, timing, power, area recovery.
+
+The paper evaluates its flows by running logic synthesis on the generated RTL
+and reporting post-synthesis cell area.  This package is the deterministic
+stand-in for that step: it assembles a datapath (functional units, registers,
+multiplexers, FSM) from a schedule and binding, performs per-state static
+timing analysis, applies the conventional within-state area-recovery pass and
+reports area and power.
+"""
+
+from repro.rtl.datapath import Datapath, build_datapath
+from repro.rtl.area import AreaReport, area_report
+from repro.rtl.timing import StateTimingReport, analyze_state_timing
+from repro.rtl.area_recovery import AreaRecoveryResult, recover_area
+from repro.rtl.power import PowerReport, power_report
+from repro.rtl.verilog import emit_verilog
+
+__all__ = [
+    "Datapath",
+    "build_datapath",
+    "AreaReport",
+    "area_report",
+    "StateTimingReport",
+    "analyze_state_timing",
+    "AreaRecoveryResult",
+    "recover_area",
+    "PowerReport",
+    "power_report",
+    "emit_verilog",
+]

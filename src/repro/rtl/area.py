@@ -1,0 +1,69 @@
+"""Area model: the stand-in for post-logic-synthesis cell area.
+
+Total area = functional units + registers + multiplexers + FSM.  The units
+are the same arbitrary ones as the paper's Table 1 (and the resource library
+characterisation), so relative comparisons between flows are meaningful even
+though absolute values differ from the paper's Synopsys/Cadence numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.rtl.datapath import Datapath
+
+
+@dataclass
+class AreaReport:
+    """Area breakdown of one datapath."""
+
+    fu_area: float
+    register_area: float
+    mux_area: float
+    fsm_area: float
+
+    @property
+    def total(self) -> float:
+        return self.fu_area + self.register_area + self.mux_area + self.fsm_area
+
+    def breakdown(self) -> Dict[str, float]:
+        return {
+            "functional_units": self.fu_area,
+            "registers": self.register_area,
+            "multiplexers": self.mux_area,
+            "fsm": self.fsm_area,
+            "total": self.total,
+        }
+
+    def describe(self) -> str:
+        return (
+            f"area: total={self.total:.1f} "
+            f"(FU={self.fu_area:.1f}, regs={self.register_area:.1f}, "
+            f"mux={self.mux_area:.1f}, fsm={self.fsm_area:.1f})"
+        )
+
+
+def area_report(datapath: Datapath) -> AreaReport:
+    """Compute the area breakdown of ``datapath``."""
+    technology = datapath.library.technology
+    fu_area = datapath.binding.total_fu_area()
+    register_area = technology.register_area_per_bit * datapath.registers.total_bits()
+    mux_area = datapath.interconnect.total_area
+    num_states = datapath.num_states
+    # One transition per state plus one per conditional edge is a reasonable
+    # FSM size proxy; conditional structure is approximated by the number of
+    # CFG branch successors.
+    transitions = num_states
+    for node in datapath.design.cfg.nodes:
+        out_degree = len(datapath.design.cfg.out_edges(node.name))
+        if out_degree > 1:
+            transitions += out_degree - 1
+    fsm_area = (technology.fsm_area_per_state * num_states +
+                technology.fsm_area_per_transition * transitions)
+    return AreaReport(
+        fu_area=fu_area,
+        register_area=register_area,
+        mux_area=mux_area,
+        fsm_area=fsm_area,
+    )

@@ -1,0 +1,102 @@
+"""Conventional (within-state) area recovery.
+
+This is the RTL-synthesis-style pass the paper uses as its baseline: after
+scheduling and binding, functional-unit instances whose operations have
+combinational slack *inside their own control step* are downsized to slower,
+cheaper grades.  Because it only sees one state at a time it cannot move an
+operation to a different cycle to create slack — which is exactly the
+limitation the slack-based flow removes (paper Section II).
+
+The pass is greedy: instances are repeatedly downgraded one speed grade at a
+time, largest area saving first, as long as every state they participate in
+still meets the clock period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.lib.resource import ResourceVariant
+from repro.rtl.datapath import Datapath
+from repro.rtl.timing import StateTimingReport, analyze_state_timing
+
+_EPS = 1e-6
+
+
+@dataclass
+class AreaRecoveryResult:
+    """Summary of an area-recovery run."""
+
+    downgrades: int
+    area_before: float
+    area_after: float
+    changed_instances: List[str] = field(default_factory=list)
+
+    @property
+    def area_saved(self) -> float:
+        return self.area_before - self.area_after
+
+
+def recover_area(datapath: Datapath, register_margin: float = 0.0,
+                 max_rounds: int = 1000) -> AreaRecoveryResult:
+    """Downsize bound instances using within-state slack only (in place)."""
+    library = datapath.library
+    area_before = datapath.binding.total_fu_area()
+    downgrades = 0
+    changed: List[str] = []
+
+    for _ in range(max_rounds):
+        timing = analyze_state_timing(datapath, register_margin=register_margin)
+        if not timing.meets_timing():
+            break  # never make a failing implementation worse
+        candidates: List[Tuple[float, str, ResourceVariant]] = []
+        for instance in datapath.binding.instances:
+            resource_class = library.class_for(
+                _kind_from_key(instance.class_key[0]), instance.class_key[1]
+            )
+            slower = resource_class.next_slower(instance.variant)
+            if slower is None:
+                continue
+            saving = instance.variant.area - slower.area
+            if saving <= _EPS:
+                continue
+            delay_increase = slower.delay - instance.variant.delay
+            worst_op_slack = min(
+                (timing.op_slack.get(op, 0.0) for op in instance.ops),
+                default=0.0,
+            )
+            if delay_increase > worst_op_slack + _EPS:
+                continue
+            candidates.append((saving, instance.name, slower))
+        if not candidates:
+            break
+        candidates.sort(key=lambda item: (-item[0], item[1]))
+        accepted = False
+        for saving, instance_name, slower in candidates:
+            instance = datapath.binding.instance_by_name(instance_name)
+            previous = instance.variant
+            instance.variant = slower
+            trial = analyze_state_timing(datapath, register_margin=register_margin)
+            if trial.meets_timing():
+                downgrades += 1
+                if instance_name not in changed:
+                    changed.append(instance_name)
+                accepted = True
+                break
+            instance.variant = previous
+        if not accepted:
+            break
+
+    return AreaRecoveryResult(
+        downgrades=downgrades,
+        area_before=area_before,
+        area_after=datapath.binding.total_fu_area(),
+        changed_instances=changed,
+    )
+
+
+def _kind_from_key(kind_value: str):
+    from repro.ir.operations import OpKind
+
+    return OpKind(kind_value)

@@ -1,0 +1,83 @@
+"""Datapath assembly: the structural result of HLS.
+
+A :class:`Datapath` bundles everything needed to evaluate an implementation:
+the schedule (FSM behaviour), the functional-unit binding, the register
+allocation and the interconnect estimate.  It is the object the area, timing
+and power models — and the Verilog emitter — operate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.ir.design import Design
+from repro.lib.library import Library
+from repro.bind.binding import Binding, bind_operations
+from repro.bind.interconnect import InterconnectEstimate, estimate_interconnect
+from repro.bind.registers import RegisterAllocation, allocate_registers
+from repro.sched.schedule import Schedule
+
+
+@dataclass
+class Datapath:
+    """A complete datapath + controller implementation of a design."""
+
+    design: Design
+    library: Library
+    schedule: Schedule
+    binding: Binding
+    registers: RegisterAllocation
+    interconnect: InterconnectEstimate
+    clock_period: float
+
+    @property
+    def num_states(self) -> int:
+        """Number of FSM states (control steps actually used)."""
+        return max(self.schedule.latency_steps(), 1)
+
+    @property
+    def num_instances(self) -> int:
+        return len(self.binding.instances)
+
+    @property
+    def num_registers(self) -> int:
+        return self.registers.num_registers()
+
+    def refresh_interconnect(self) -> None:
+        """Re-estimate the interconnect (after area recovery changed grades)."""
+        self.interconnect = estimate_interconnect(
+            self.design, self.library, self.schedule, self.binding, self.registers
+        )
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "design": self.design.name,
+            "states": self.num_states,
+            "fu_instances": self.num_instances,
+            "registers": self.num_registers,
+            "register_bits": self.registers.total_bits(),
+            "muxes": self.interconnect.num_muxes(),
+            "clock_period": self.clock_period,
+        }
+
+
+def build_datapath(
+    design: Design,
+    library: Library,
+    schedule: Schedule,
+    pipeline_ii: Optional[int] = None,
+) -> Datapath:
+    """Bind, allocate registers, estimate interconnect and assemble a datapath."""
+    binding = bind_operations(design, library, schedule, pipeline_ii=pipeline_ii)
+    registers = allocate_registers(design, schedule)
+    interconnect = estimate_interconnect(design, library, schedule, binding, registers)
+    return Datapath(
+        design=design,
+        library=library,
+        schedule=schedule,
+        binding=binding,
+        registers=registers,
+        interconnect=interconnect,
+        clock_period=schedule.clock_period,
+    )

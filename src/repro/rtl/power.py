@@ -1,0 +1,79 @@
+"""Power model.
+
+The paper's design-space exploration reports a ~20x power range across the
+IDCT implementations.  Power here is a simple but standard two-component
+model:
+
+* **dynamic** — every operation activates its bound instance once per kernel
+  iteration, dissipating the variant's switching energy; registers and muxes
+  add energy proportional to their bits.  Dynamic power = energy / iteration
+  period (latency x clock period).
+* **leakage** — proportional to instantiated area (functional units,
+  registers, muxes), independent of activity.
+
+Units are arbitrary but consistent across flows and design points, so ratios
+(the published "20x range") are meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.rtl.area import area_report
+from repro.rtl.datapath import Datapath
+
+
+@dataclass
+class PowerReport:
+    """Power breakdown of one datapath."""
+
+    dynamic: float
+    leakage: float
+    iteration_time: float      # latency (states) x clock period, in ps
+    throughput: float          # iterations per nanosecond
+
+    @property
+    def total(self) -> float:
+        return self.dynamic + self.leakage
+
+    def describe(self) -> str:
+        return (f"power: total={self.total:.4f} "
+                f"(dynamic={self.dynamic:.4f}, leakage={self.leakage:.4f}), "
+                f"iteration={self.iteration_time:.0f} ps")
+
+
+def power_report(datapath: Datapath, activity: float = 1.0) -> PowerReport:
+    """Estimate power for one datapath.
+
+    ``activity`` scales the dynamic component (1.0 = every operation fires
+    once per iteration, the default for the throughput-driven kernels used in
+    the experiments).
+    """
+    technology = datapath.library.technology
+    num_states = datapath.num_states
+    # Pipelined designs start a new iteration every II states, so energy is
+    # spent (and throughput measured) per initiation interval, not per latency.
+    interval_states = datapath.design.pipeline_ii or num_states
+    interval_states = max(min(interval_states, num_states), 1)
+    iteration_time = interval_states * datapath.clock_period
+
+    switching_energy = 0.0
+    for instance in datapath.binding.instances:
+        switching_energy += instance.variant.energy * len(instance.ops)
+    register_bits = datapath.registers.total_bits()
+    switching_energy += 0.05 * register_bits * interval_states
+    switching_energy += 0.02 * datapath.interconnect.total_area
+
+    dynamic = technology.dynamic_energy_factor * activity * switching_energy / iteration_time
+
+    area = area_report(datapath)
+    leakage = technology.leakage_power_factor * area.total / 1000.0
+
+    throughput = 1000.0 / iteration_time  # iterations per nanosecond
+    return PowerReport(
+        dynamic=dynamic,
+        leakage=leakage,
+        iteration_time=iteration_time,
+        throughput=throughput,
+    )

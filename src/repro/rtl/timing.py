@@ -1,0 +1,125 @@
+"""Per-state static timing analysis of a bound datapath.
+
+After binding, the delay of an operation is the delay of the *instance* it is
+bound to (which may be faster than the grade requested by the schedule), plus
+the multiplexer delay in front of the instance's inputs.  This module
+recomputes the combinational chains inside every control step and reports
+
+* per-state critical path length and slack against the clock period, and
+* per-operation within-state slack (the only slack the conventional RTL-style
+  area recovery is allowed to use).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import TimingError
+from repro.ir.operations import OpKind
+from repro.rtl.datapath import Datapath
+
+_EPS = 1e-6
+
+
+@dataclass
+class StateTimingReport:
+    """Combinational timing of every control step of a datapath."""
+
+    clock_period: float
+    state_critical_path: Dict[str, float]      # CFG edge -> longest finish (ps)
+    op_start: Dict[str, float]
+    op_finish: Dict[str, float]
+    op_slack: Dict[str, float]                 # within-state slack per operation
+
+    @property
+    def worst_state_slack(self) -> float:
+        if not self.state_critical_path:
+            return self.clock_period
+        return self.clock_period - max(self.state_critical_path.values())
+
+    def meets_timing(self, margin: float = 0.0) -> bool:
+        return self.worst_state_slack >= -abs(margin) - _EPS
+
+    def violations(self, margin: float = 0.0) -> List[str]:
+        limit = self.clock_period + abs(margin) + _EPS
+        return [edge for edge, finish in self.state_critical_path.items()
+                if finish > limit]
+
+
+def _effective_delay(datapath: Datapath, op_name: str) -> float:
+    """Instance delay + input mux delay for one scheduled operation."""
+    design = datapath.design
+    library = datapath.library
+    op = design.dfg.op(op_name)
+    if op.kind is OpKind.CONST:
+        return 0.0
+    if not op.is_synthesizable:
+        return library.operation_delay(op)
+    try:
+        instance = datapath.binding.instance_of(op_name)
+    except Exception:  # unbound (should not happen for complete bindings)
+        return library.operation_delay(op, datapath.schedule.variant_of(op_name))
+    mux_delay = datapath.interconnect.delay_before(instance.name)
+    return instance.variant.delay + mux_delay
+
+
+def analyze_state_timing(datapath: Datapath,
+                         register_margin: float = 0.0) -> StateTimingReport:
+    """Recompute within-state chains using bound-instance delays.
+
+    ``register_margin`` is subtracted from the clock period to model register
+    setup plus clock-to-q overhead (0 by default, matching the paper's
+    illustrative examples which ignore it).
+    """
+    design = datapath.design
+    schedule = datapath.schedule
+    clock_period = datapath.clock_period - register_margin
+    if clock_period <= 0:
+        raise TimingError("register margin leaves no usable clock period")
+
+    op_start: Dict[str, float] = {}
+    op_finish: Dict[str, float] = {}
+    state_critical: Dict[str, float] = {}
+
+    dfg = design.dfg
+    topo = dfg.topological_order()
+    # Forward pass per state (global topological order keeps chains consistent).
+    for name in topo:
+        if not schedule.is_scheduled(name):
+            continue
+        item = schedule.item(name)
+        delay = _effective_delay(datapath, name)
+        start = 0.0
+        for pred in dfg.predecessors(name):
+            if not schedule.is_scheduled(pred):
+                continue
+            if schedule.edge_of(pred) == item.edge:
+                start = max(start, op_finish.get(pred, 0.0))
+        finish = start + delay
+        op_start[name] = start
+        op_finish[name] = finish
+        state_critical[item.edge] = max(state_critical.get(item.edge, 0.0), finish)
+
+    # Backward pass: latest start within the state so every downstream
+    # same-state consumer still meets the clock period.
+    latest_start: Dict[str, float] = {}
+    for name in reversed(topo):
+        if name not in op_start:
+            continue
+        item = schedule.item(name)
+        delay = op_finish[name] - op_start[name]
+        allowed_finish = clock_period
+        for succ in dfg.successors(name):
+            if succ in latest_start and schedule.edge_of(succ) == item.edge:
+                allowed_finish = min(allowed_finish, latest_start[succ])
+        latest_start[name] = allowed_finish - delay
+
+    op_slack = {name: latest_start[name] - op_start[name] for name in op_start}
+    return StateTimingReport(
+        clock_period=datapath.clock_period,
+        state_critical_path=state_critical,
+        op_start=op_start,
+        op_finish=op_finish,
+        op_slack=op_slack,
+    )

@@ -1,0 +1,270 @@
+"""Resource- and timing-constrained list scheduling over CFG edges.
+
+This is the ``Schedule_pass`` of the paper's Fig. 8 (without the re-budgeting
+steps, which the slack-guided scheduler adds on top):
+
+* CFG edges are visited in topological order;
+* on each edge, *ready* operations (all data predecessors scheduled, edge
+  inside the operation's span) are scheduled in priority order as long as
+  both the per-state resource limits and the clock period (with operation
+  chaining) allow it;
+* an operation that reaches the last edge of its span without being
+  scheduled makes the pass fail, with a structured diagnostic (which
+  operation, which edge, whether resources or timing were the bottleneck)
+  that the relaxation "expert system" uses to decide how to relax.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import SchedulingError
+from repro.ir.design import Design
+from repro.ir.operations import OpKind
+from repro.lib.library import Library
+from repro.lib.resource import ResourceVariant
+from repro.core.latency import LatencyAnalysis
+from repro.core.opspan import OperationSpans
+from repro.sched.allocation import Allocation, ClassKey, resource_class_key
+from repro.sched.priorities import PriorityFn, mobility_priority
+from repro.sched.schedule import Schedule
+
+_EPS = 1e-6
+
+
+@dataclass
+class SchedulingFailure:
+    """Structured diagnostic of a failed scheduling pass.
+
+    ``blocking_class_key`` names the resource class of the same-state chain
+    predecessor that pushed the failing operation past the clock period (the
+    class whose shortage deferred the chain this late); the relaxation loop
+    adds an instance of that class when grade upgrades cannot help.
+    """
+
+    op: str
+    edge: str
+    reason: str  # "resource" | "timing" | "unreachable"
+    class_key: Optional[ClassKey] = None
+    blocking_class_key: Optional[ClassKey] = None
+    detail: str = ""
+
+    def __str__(self):  # pragma: no cover - cosmetic
+        return (f"cannot schedule {self.op!r} on edge {self.edge!r} "
+                f"({self.reason}): {self.detail}")
+
+
+@dataclass
+class SchedulingAttempt:
+    """Result of one scheduling pass: either a schedule or a failure."""
+
+    success: bool
+    schedule: Optional[Schedule] = None
+    failure: Optional[SchedulingFailure] = None
+
+    def require_schedule(self) -> Schedule:
+        if not self.success or self.schedule is None:
+            raise SchedulingError(str(self.failure) if self.failure
+                                  else "scheduling failed")
+        return self.schedule
+
+
+def _op_delay(op, library: Library, variant: Optional[ResourceVariant]) -> float:
+    return library.operation_delay(op, variant)
+
+
+def try_list_schedule(
+    design: Design,
+    library: Library,
+    clock_period: float,
+    variant_map: Mapping[str, Optional[ResourceVariant]],
+    allocation: Allocation,
+    spans: Optional[OperationSpans] = None,
+    latency: Optional[LatencyAnalysis] = None,
+    priority: Optional[PriorityFn] = None,
+    pipeline_ii: Optional[int] = None,
+    timing_margin: float = 0.0,
+    post_edge_hook=None,
+    upgrade_on_last_chance: bool = False,
+) -> SchedulingAttempt:
+    """One resource-constrained list-scheduling pass.
+
+    ``variant_map`` fixes the speed grade of every synthesizable operation
+    (fastest grades for the conventional flow, budgeted grades for the
+    slack-based flow).  ``allocation`` limits how many operations of a class
+    may execute in the same state (or the same II-congruent state group).
+
+    ``post_edge_hook(edge_name, schedule, pending)`` is called after every
+    CFG edge has been processed.  It may return ``None`` (no change) or a
+    ``(spans, variant_map, priority)`` triple that replaces the analyses used
+    for the remaining edges — this is how the slack-guided scheduler injects
+    its re-budgeting step (the bold steps of the paper's Fig. 8) without
+    duplicating the scheduling engine.
+
+    ``upgrade_on_last_chance`` enables the "upgrade on the fly" move: when an
+    operation reaches the last edge of its span and its chained delay does
+    not fit, its own speed grade is raised just enough to fit before giving
+    up.  When ``variant_map`` is a mutable dict the upgrade is recorded in it
+    so callers see the final grades.
+    """
+    latency = latency or LatencyAnalysis(design.cfg)
+    spans = spans or OperationSpans(design, latency=latency)
+    priority = priority or mobility_priority(spans)
+    pipeline_ii = pipeline_ii or design.pipeline_ii
+
+    dfg = design.dfg
+    schedule = Schedule(design, clock_period)
+    budget = clock_period - timing_margin
+
+    pending = {op.name for op in dfg.operations if op.kind is not OpKind.CONST}
+    usage: Dict[Tuple[int, ClassKey], int] = {}
+    edge_order = latency.forward_edge_names
+    edge_step = {name: index for index, name in enumerate(edge_order)}
+
+    def usage_slot(step: int) -> int:
+        if pipeline_ii is not None and pipeline_ii >= 1:
+            return step % pipeline_ii
+        return step
+
+    for edge_name in edge_order:
+        step = edge_step[edge_name]
+        progressed = True
+        while progressed:
+            progressed = False
+            ready: List[str] = []
+            for name in sorted(pending):
+                info = spans.span(name)
+                if edge_name not in info:
+                    continue
+                preds = dfg.predecessors(name)
+                if any(p in pending and dfg.op(p).kind is not OpKind.CONST
+                       for p in preds):
+                    continue
+                ready.append(name)
+            # Operations on the last edge of their span must go first: deferring
+            # them is impossible, so they get priority over movable ones.
+            ready.sort(key=lambda n: (0 if spans.span(n).late == edge_name else 1,
+                                      priority(n)))
+            for name in ready:
+                op = dfg.op(name)
+                variant = variant_map.get(name)
+                delay = _op_delay(op, library, variant)
+                start = 0.0
+                for pred in dfg.predecessors(name):
+                    if schedule.is_scheduled(pred) and schedule.edge_of(pred) == edge_name:
+                        start = max(start, schedule.item(pred).finish)
+                finish = start + delay
+                fits_timing = finish <= budget + _EPS
+                last_chance_here = (edge_name == spans.span(name).late)
+                if (not fits_timing and last_chance_here and upgrade_on_last_chance
+                        and variant is not None and op.is_synthesizable):
+                    # Upgrade on the fly: take the cheapest grade that fits.
+                    resource_class = library.class_for_op(op)
+                    faster = resource_class.cheapest_within(budget - start)
+                    if faster.delay < variant.delay:
+                        variant = faster
+                        delay = faster.delay
+                        finish = start + delay
+                        fits_timing = finish <= budget + _EPS
+                        if isinstance(variant_map, dict):
+                            variant_map[name] = faster
+                key = resource_class_key(op, library)
+                slot = (usage_slot(step), key) if key is not None else None
+                fits_resource = (key is None or
+                                 usage.get(slot, 0) < allocation.limit(key))
+                last_chance = last_chance_here
+                if fits_timing and fits_resource:
+                    schedule.assign(name, edge_name, step, start, finish, variant)
+                    pending.discard(name)
+                    if slot is not None:
+                        usage[slot] = usage.get(slot, 0) + 1
+                    progressed = True
+                elif last_chance:
+                    blocking_key = None
+                    if not fits_resource:
+                        reason, detail = "resource", (
+                            f"all {allocation.limit(key)} instance(s) of "
+                            f"{key[0]}/{key[1]} are busy in step {step}"
+                        )
+                    else:
+                        reason, detail = "timing", (
+                            f"chained start {start:.1f} ps + delay {delay:.1f} ps "
+                            f"exceeds the {budget:.1f} ps budget"
+                        )
+                        # Identify the chain driver: walk up the same-state
+                        # combinational chain to its head — the operation that
+                        # was deferred onto this state by resource scarcity —
+                        # and report its class so relaxation can add one.
+                        current = name
+                        while True:
+                            chain_pred = None
+                            latest_finish = -1.0
+                            for pred in dfg.predecessors(current):
+                                if (schedule.is_scheduled(pred)
+                                        and schedule.edge_of(pred) == edge_name
+                                        and schedule.item(pred).finish > latest_finish):
+                                    latest_finish = schedule.item(pred).finish
+                                    chain_pred = pred
+                            if chain_pred is None:
+                                break
+                            current = chain_pred
+                        if current != name:
+                            blocking_key = resource_class_key(dfg.op(current),
+                                                              library)
+                    return SchedulingAttempt(
+                        success=False,
+                        failure=SchedulingFailure(op=name, edge=edge_name,
+                                                  reason=reason, class_key=key,
+                                                  blocking_class_key=blocking_key,
+                                                  detail=detail),
+                    )
+        if post_edge_hook is not None and pending:
+            update = post_edge_hook(edge_name, schedule, frozenset(pending))
+            if update is not None:
+                new_spans, new_variants, new_priority = update
+                if new_spans is not None:
+                    spans = new_spans
+                if new_variants is not None:
+                    variant_map = new_variants
+                if new_priority is not None:
+                    priority = new_priority
+        # Any pending operation whose span ends here but never became ready
+        # (its predecessors are stuck) is a hard failure.
+        for name in sorted(pending):
+            if spans.span(name).late == edge_name:
+                return SchedulingAttempt(
+                    success=False,
+                    failure=SchedulingFailure(
+                        op=name, edge=edge_name, reason="unreachable",
+                        class_key=resource_class_key(dfg.op(name), library),
+                        detail="operation never became ready before the end of "
+                               "its span (a predecessor could not be scheduled)",
+                    ),
+                )
+
+    if pending:
+        name = sorted(pending)[0]
+        return SchedulingAttempt(
+            success=False,
+            failure=SchedulingFailure(
+                op=name, edge=spans.span(name).late, reason="unreachable",
+                class_key=resource_class_key(dfg.op(name), library),
+                detail="operation left unscheduled after visiting every edge",
+            ),
+        )
+    return SchedulingAttempt(success=True, schedule=schedule)
+
+
+def list_schedule(
+    design: Design,
+    library: Library,
+    clock_period: float,
+    variant_map: Mapping[str, Optional[ResourceVariant]],
+    allocation: Allocation,
+    **kwargs,
+) -> Schedule:
+    """Like :func:`try_list_schedule` but raises :class:`SchedulingError` on failure."""
+    attempt = try_list_schedule(design, library, clock_period, variant_map,
+                                allocation, **kwargs)
+    return attempt.require_schedule()

@@ -1,0 +1,182 @@
+"""The scheduling relaxation loop ("expert system" of the paper's Fig. 8).
+
+``schedule_with_relaxation`` repeatedly calls the list scheduler; whenever a
+pass fails it inspects the structured failure and relaxes the problem:
+
+* a **resource** failure adds one instance of the bottleneck class;
+* a **timing** failure upgrades the speed grade of the failing operation (or,
+  if it is already at its fastest grade, of the slowest upgradable operation
+  chained before it on that edge);
+* an **unreachable** failure (a predecessor could never be scheduled) is
+  treated like a resource failure on the predecessor's class when possible.
+
+When no relaxation can make progress an :class:`InfeasibleDesignError` is
+raised — the paper's "design is overconstrained" outcome.  Adding states is
+only possible by re-elaborating the design with a larger latency, which the
+DSE harness does explicitly; the relaxation loop itself never changes the CFG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import InfeasibleDesignError, SchedulingError
+from repro.ir.design import Design
+from repro.lib.library import Library
+from repro.lib.resource import ResourceVariant
+from repro.core.latency import LatencyAnalysis
+from repro.core.opspan import OperationSpans
+from repro.sched.allocation import Allocation, minimal_allocation, resource_class_key
+from repro.sched.list_scheduler import SchedulingAttempt, try_list_schedule
+from repro.sched.priorities import PriorityFn
+from repro.sched.schedule import Schedule
+
+
+@dataclass
+class RelaxationLog:
+    """Record of the relaxations applied to obtain a feasible schedule."""
+
+    attempts: int = 0
+    resources_added: List[Tuple[str, int]] = field(default_factory=list)
+    upgrades: List[str] = field(default_factory=list)
+    messages: List[str] = field(default_factory=list)
+
+    def note(self, message: str) -> None:
+        self.messages.append(message)
+
+
+def upgrade_for_timing(
+    design: Design,
+    library: Library,
+    variant_map: Dict[str, Optional[ResourceVariant]],
+    failure,
+    log: RelaxationLog,
+) -> bool:
+    """Speed up the failing operation or one of the operations feeding it.
+
+    The timing failure is caused by a combinational chain ending at
+    ``failure.op``; any transitive predecessor may be the slow link, so the
+    candidate set is the whole ancestor cone.  The slowest upgradable
+    candidate is sped up by one grade (the "upgrade on the fly" move of the
+    paper's Case 2 strategy).
+    """
+    dfg = design.dfg
+    candidates = [failure.op]
+    seen = {failure.op}
+    frontier = [failure.op]
+    while frontier:
+        current = frontier.pop()
+        for pred in dfg.predecessors(current):
+            if pred not in seen:
+                seen.add(pred)
+                candidates.append(pred)
+                frontier.append(pred)
+    best: Optional[Tuple[float, float, str, ResourceVariant]] = None
+    for name in candidates:
+        op = dfg.op(name)
+        if not op.is_synthesizable:
+            continue
+        variant = variant_map.get(name)
+        if variant is None:
+            continue
+        faster = library.class_for_op(op).next_faster(variant)
+        if faster is None:
+            continue
+        gain = variant.delay - faster.delay
+        key = (variant.delay, gain)
+        if best is None or key > (best[0], best[1]):
+            best = (variant.delay, gain, name, faster)
+    if best is None:
+        return False
+    _, _, name, faster = best
+    variant_map[name] = faster
+    log.upgrades.append(name)
+    log.note(f"upgraded {name} to {faster.name} to fix a timing failure on "
+             f"{failure.op}")
+    return True
+
+
+def schedule_with_relaxation(
+    design: Design,
+    library: Library,
+    clock_period: float,
+    variant_map: Mapping[str, Optional[ResourceVariant]],
+    allocation: Optional[Allocation] = None,
+    spans: Optional[OperationSpans] = None,
+    latency: Optional[LatencyAnalysis] = None,
+    priority: Optional[PriorityFn] = None,
+    pipeline_ii: Optional[int] = None,
+    timing_margin: float = 0.0,
+    max_attempts: int = 500,
+    upgrade_on_last_chance: bool = True,
+) -> Tuple[Schedule, Allocation, Dict[str, Optional[ResourceVariant]], RelaxationLog]:
+    """Schedule ``design``, relaxing resources/grades until a pass succeeds."""
+    latency = latency or LatencyAnalysis(design.cfg)
+    spans = spans or OperationSpans(design, latency=latency)
+    allocation = (allocation or
+                  minimal_allocation(design, library, spans=spans,
+                                     pipeline_ii=pipeline_ii)).copy()
+    variants: Dict[str, Optional[ResourceVariant]] = dict(variant_map)
+    log = RelaxationLog()
+
+    for _ in range(max_attempts):
+        log.attempts += 1
+        attempt: SchedulingAttempt = try_list_schedule(
+            design, library, clock_period, variants, allocation,
+            spans=spans, latency=latency, priority=priority,
+            pipeline_ii=pipeline_ii, timing_margin=timing_margin,
+            upgrade_on_last_chance=upgrade_on_last_chance,
+        )
+        if attempt.success:
+            return attempt.schedule, allocation, variants, log
+        failure = attempt.failure
+        if failure.reason == "resource" and failure.class_key is not None:
+            allocation.add(failure.class_key)
+            log.resources_added.append(failure.class_key)
+            log.note(f"added one {failure.class_key[0]}/{failure.class_key[1]} "
+                     f"instance for {failure.op}")
+            continue
+        if failure.reason == "timing":
+            failing_op = design.dfg.op(failure.op)
+            alone_delay = (library.class_for_op(failing_op).min_delay
+                           if failing_op.is_synthesizable
+                           else library.operation_delay(failing_op))
+            if alone_delay > clock_period - timing_margin + 1e-6:
+                raise InfeasibleDesignError(
+                    f"operation {failure.op!r} needs {alone_delay:.0f} ps even at "
+                    f"its fastest grade, which exceeds the "
+                    f"{clock_period - timing_margin:.0f} ps budget; the clock "
+                    f"period is infeasible"
+                )
+            if upgrade_for_timing(design, library, variants, failure, log):
+                continue
+            bottleneck = failure.blocking_class_key or failure.class_key
+            if bottleneck is not None:
+                # Every operation in the chain is already at its fastest grade:
+                # the chain was compressed because earlier states ran out of
+                # resources and deferred the chain head.  Adding an instance
+                # of that bottleneck class lets it schedule earlier.
+                allocation.add(bottleneck)
+                log.resources_added.append(bottleneck)
+                log.note(f"added one {bottleneck[0]}/{bottleneck[1]} "
+                         f"instance after unrepairable timing failure on "
+                         f"{failure.op}")
+                continue
+            raise InfeasibleDesignError(
+                f"timing failure on {failure.op!r} cannot be repaired: every "
+                f"operation in its chain is already at its fastest grade "
+                f"({failure.detail})"
+            )
+        if failure.reason == "unreachable" and failure.class_key is not None:
+            allocation.add(failure.class_key)
+            log.resources_added.append(failure.class_key)
+            log.note(f"added one {failure.class_key[0]}/{failure.class_key[1]} "
+                     f"instance after unreachable failure on {failure.op}")
+            continue
+        raise InfeasibleDesignError(
+            f"no relaxation can make the design schedulable: {failure}"
+        )
+    raise InfeasibleDesignError(
+        f"design {design.name!r} still unschedulable after {max_attempts} relaxations"
+    )

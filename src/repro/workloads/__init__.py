@@ -1,0 +1,42 @@
+"""Workloads: the paper's kernels plus additional public-style kernels.
+
+* :func:`interpolation_design` — the motivating example of the paper's
+  Section II (Fig. 1/2): the unrolled interpolation loop with 7 multiplies
+  and 4 additions in 3 states at an 1100 ps clock.
+* :func:`resizer_design` / :func:`resizer_main_design` — the running example
+  of Sections IV/V (Fig. 3/4/5 and Table 3): the if/else filter body with two
+  wait states on the branches and one at the join.
+* :func:`idct_design` — an 8-point (optionally 8x8 two-pass) IDCT dataflow
+  used for the Table 4 design-space exploration.
+* :mod:`repro.workloads.kernels` — FIR, matrix multiply, DCT butterfly, FFT
+  stage and Sobel kernels standing in for the paper's confidential customer
+  designs.
+* :mod:`repro.workloads.generator` — seeded random layered DFGs for stress
+  and property-based tests.
+"""
+
+from repro.workloads.interpolation import interpolation_design
+from repro.workloads.resizer import resizer_design, resizer_main_design
+from repro.workloads.idct import idct_design, IDCT_COEFFICIENTS
+from repro.workloads.kernels import (
+    fir_design,
+    matmul_design,
+    dct_butterfly_design,
+    fft_stage_design,
+    sobel_design,
+)
+from repro.workloads.generator import random_layered_design
+
+__all__ = [
+    "interpolation_design",
+    "resizer_design",
+    "resizer_main_design",
+    "idct_design",
+    "IDCT_COEFFICIENTS",
+    "fir_design",
+    "matmul_design",
+    "dct_butterfly_design",
+    "fft_stage_design",
+    "sobel_design",
+    "random_layered_design",
+]

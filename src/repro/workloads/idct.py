@@ -1,0 +1,173 @@
+"""An 8-point IDCT workload (the paper's Table 4 design-space exploration).
+
+The paper explores an IDCT used in video decoding across latencies from 32
+down to 8 clock cycles, pipelined and not.  The exact industrial RTL is not
+available, so this module builds the standard even/odd-decomposition 8-point
+IDCT butterfly network (14 multiplications and 24 additions/subtractions per
+1-D transform) applied to the rows of an 8x8 block — optionally followed by
+the column pass for a full 2-D IDCT.
+
+Latency is swept by building the same dataflow on linear CFGs with different
+numbers of states; input reads are fixed on the first state and output writes
+on the last, everything else is free to move inside its span, which is
+exactly what gives the scheduler room to trade resources for latency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.ir.builder import LinearDesignBuilder
+from repro.ir.design import Design
+from repro.ir.operations import OpKind
+
+#: Fixed-point IDCT coefficients (cos(k*pi/16) scaled to 12 bits), indexed 1..7.
+IDCT_COEFFICIENTS: Dict[int, int] = {
+    1: 4017,   # cos(1*pi/16) * 4096
+    2: 3784,
+    3: 3406,
+    4: 2896,
+    5: 2276,
+    6: 1567,
+    7: 799,
+}
+
+
+def _idct_1d(builder: LinearDesignBuilder, inputs: Sequence[str], tag: str,
+             edge: str, width: int) -> List[str]:
+    """Emit one 8-point IDCT butterfly; returns the 8 output value names."""
+    if len(inputs) != 8:
+        raise ValueError("an 8-point IDCT needs exactly 8 inputs")
+
+    coefficient_ops = {}
+
+    def coefficient(index: int) -> str:
+        if index not in coefficient_ops:
+            op = builder.const(IDCT_COEFFICIENTS[index], edge, width=width,
+                               name=f"{tag}_c{index}")
+            coefficient_ops[index] = op.name
+        return coefficient_ops[index]
+
+    def mul(a: str, c_index: int, label: str) -> str:
+        return builder.binary(OpKind.MUL, a, coefficient(c_index), edge,
+                              width=width, name=f"{tag}_mul_{label}").name
+
+    def add(a: str, b: str, label: str) -> str:
+        return builder.binary(OpKind.ADD, a, b, edge, width=width,
+                              name=f"{tag}_add_{label}").name
+
+    def sub(a: str, b: str, label: str) -> str:
+        return builder.binary(OpKind.SUB, a, b, edge, width=width,
+                              name=f"{tag}_sub_{label}").name
+
+    x0, x1, x2, x3, x4, x5, x6, x7 = inputs
+
+    # Even part.
+    s04 = add(x0, x4, "s04")
+    d04 = sub(x0, x4, "d04")
+    t0 = mul(s04, 4, "t0")
+    t1 = mul(d04, 4, "t1")
+    t2 = add(mul(x2, 2, "x2c2"), mul(x6, 6, "x6c6"), "t2")
+    t3 = sub(mul(x2, 6, "x2c6"), mul(x6, 2, "x6c2"), "t3")
+    e0 = add(t0, t2, "e0")
+    e3 = sub(t0, t2, "e3")
+    e1 = add(t1, t3, "e1")
+    e2 = sub(t1, t3, "e2")
+
+    # Odd part.
+    o0 = add(mul(x1, 1, "x1c1"), mul(x7, 7, "x7c7"), "o0")
+    o1 = sub(mul(x1, 7, "x1c7"), mul(x7, 1, "x7c1"), "o1")
+    o2 = add(mul(x5, 5, "x5c5"), mul(x3, 3, "x3c3"), "o2")
+    o3 = sub(mul(x5, 3, "x5c3"), mul(x3, 5, "x3c5"), "o3")
+    f0 = add(o0, o2, "f0")
+    f2 = sub(o0, o2, "f2")
+    f1 = add(o1, o3, "f1")
+    f3 = sub(o1, o3, "f3")
+
+    # Output butterflies.
+    return [
+        add(e0, f0, "y0"),
+        add(e1, f1, "y1"),
+        add(e2, f2, "y2"),
+        add(e3, f3, "y3"),
+        sub(e3, f3, "y4"),
+        sub(e2, f2, "y5"),
+        sub(e1, f1, "y6"),
+        sub(e0, f0, "y7"),
+    ]
+
+
+def idct_design(
+    latency: int = 16,
+    rows: int = 8,
+    two_dimensional: bool = False,
+    width: int = 16,
+    clock_period: float = 1500.0,
+    pipeline_ii: Optional[int] = None,
+    name: Optional[str] = None,
+) -> Design:
+    """Build an IDCT design point.
+
+    Parameters
+    ----------
+    latency:
+        Number of states of the linear schedule skeleton (8..32 in the paper).
+    rows:
+        How many 8-point row transforms to instantiate (8 = a full 8x8 block
+        row pass; smaller values give quick test designs).
+    two_dimensional:
+        Add the column pass after the row pass (full 2-D IDCT).
+    width:
+        Data width; 16 exercises the paper's Table 1 adder curve.
+    pipeline_ii:
+        Initiation interval for pipelined design points (None = not pipelined).
+    """
+    if latency < 2:
+        raise ValueError("an IDCT design needs at least two states (read + write)")
+    if rows < 1:
+        raise ValueError("at least one row is required")
+
+    design_name = name or (
+        f"idct{'2d' if two_dimensional else '1d'}_r{rows}_l{latency}"
+        + (f"_ii{pipeline_ii}" if pipeline_ii else "")
+    )
+    builder = LinearDesignBuilder(design_name, latency)
+    builder.clock_period = clock_period
+    builder.pipeline_ii = pipeline_ii
+    first_edge = builder.edge_for_step(1)
+    last_edge = builder.edge_for_step(latency)
+
+    # Row pass.
+    row_outputs: List[List[str]] = []
+    for row in range(rows):
+        inputs = [
+            builder.read(f"in_r{row}_{col}", first_edge, width=width,
+                         name=f"rd_r{row}_{col}").name
+            for col in range(8)
+        ]
+        row_outputs.append(_idct_1d(builder, inputs, f"r{row}", first_edge, width))
+
+    if two_dimensional and rows == 8:
+        # Column pass on the transposed row results.
+        final_outputs: List[List[str]] = [[""] * 8 for _ in range(8)]
+        for col in range(8):
+            column_inputs = [row_outputs[row][col] for row in range(8)]
+            column_result = _idct_1d(builder, column_inputs, f"c{col}",
+                                     first_edge, width)
+            for row in range(8):
+                final_outputs[row][col] = column_result[row]
+        outputs = final_outputs
+    else:
+        outputs = row_outputs
+
+    for row, values in enumerate(outputs):
+        for col, value in enumerate(values):
+            builder.write(f"out_r{row}_{col}", last_edge, value, width=width,
+                          name=f"wr_r{row}_{col}")
+
+    design = builder.build()
+    design.attrs["latency"] = latency
+    design.attrs["rows"] = rows
+    design.attrs["two_dimensional"] = two_dimensional
+    return design

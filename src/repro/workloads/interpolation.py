@@ -1,0 +1,93 @@
+"""The interpolation kernel of the paper's Section II (Fig. 1 / Fig. 2).
+
+The SystemC source computes, per outer-loop iteration::
+
+    for (int i = 0; i < 3; i++) { x *= deltaX; deltaX *= scale; sum += x; }
+    wait();
+    fx.write(sum);
+
+To sustain one interpolation point every 3 clock cycles the inner loop is
+unrolled, giving (for the paper's unroll factor) a DFG with **7 multiplies
+and 4 additions** that must be scheduled into **3 states** — at least
+3 multipliers and 2 adders.  The multiplies are 8-bit (Table 1's 8x8
+multiplier curve), the accumulation is 16-bit (Table 1's adder curve), and
+the clock period is 1100 ps.
+
+The x/deltaX/scale/sum values entering an iteration live in loop-carried
+registers; they are modelled as zero-delay ``COPY`` sources, exactly like the
+``x0 / deltaX0 / scale / 0`` source nodes of the paper's Fig. 2(a).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.builder import LinearDesignBuilder
+from repro.ir.design import Design
+from repro.ir.operations import OpKind
+
+
+#: Clock period used throughout the paper's Section II example (ps).
+INTERPOLATION_CLOCK = 1100.0
+
+
+def interpolation_design(
+    unroll: int = 4,
+    num_states: int = 3,
+    data_width: int = 8,
+    accum_width: int = 16,
+    name: Optional[str] = None,
+) -> Design:
+    """Build the unrolled interpolation design.
+
+    With the defaults (``unroll=4``, ``num_states=3``) the DFG contains
+    exactly the paper's 7 multiplications (4 ``x`` updates + 3 ``deltaX``
+    updates — the last ``deltaX`` update is dead and therefore not emitted)
+    and 4 additions, plus the final port write.
+    """
+    if unroll < 1:
+        raise ValueError("unroll factor must be >= 1")
+    if num_states < 1:
+        raise ValueError("the design needs at least one state")
+
+    builder = LinearDesignBuilder(name or f"interpolation_u{unroll}", num_states)
+    builder.clock_period = INTERPOLATION_CLOCK
+    first_edge = builder.edge_for_step(1)
+    last_edge = builder.edge_for_step(num_states)
+
+    # Loop-carried register values entering the iteration (Fig. 2(a) sources).
+    x = builder.op(OpKind.COPY, first_edge, name="x0", width=data_width,
+                   operand_widths=())
+    delta = builder.op(OpKind.COPY, first_edge, name="deltaX0", width=data_width,
+                       operand_widths=())
+    scale = builder.op(OpKind.COPY, first_edge, name="scale", width=data_width,
+                       operand_widths=())
+    total = builder.op(OpKind.COPY, first_edge, name="sum0", width=accum_width,
+                       operand_widths=())
+
+    x_name, delta_name, sum_name = x.name, delta.name, total.name
+    for index in range(unroll):
+        new_x = builder.binary(OpKind.MUL, x_name, delta_name, first_edge,
+                               width=data_width, name=f"mul_x_{index}")
+        x_name = new_x.name
+        if index < unroll - 1:
+            new_delta = builder.binary(OpKind.MUL, delta_name, scale.name, first_edge,
+                                       width=data_width, name=f"mul_d_{index}")
+            delta_name = new_delta.name
+        new_sum = builder.op(
+            OpKind.ADD, first_edge, name=f"add_sum_{index}", width=accum_width,
+            operand_widths=(accum_width, accum_width), inputs=[sum_name, x_name],
+        )
+        sum_name = new_sum.name
+
+    builder.write("fx", last_edge, sum_name, width=accum_width, name="write_x")
+
+    # Loop-carried values for the next outer-loop iteration.
+    builder.loop_carry(x_name, x.name)
+    builder.loop_carry(delta_name, delta.name)
+    builder.loop_carry(sum_name, total.name)
+
+    design = builder.build()
+    design.attrs["unroll"] = unroll
+    design.attrs["source"] = "paper Fig. 1 (Section II)"
+    return design

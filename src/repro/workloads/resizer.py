@@ -1,0 +1,136 @@
+"""The resizer/filter kernel of the paper's Sections IV-V (Fig. 3/4/5, Table 3).
+
+Source (paper Fig. 3)::
+
+    for (int i = 0; i < 1024; i++) {
+        int x = a.read() + offset;
+        if (x > th) { wait(); /* s0 */ y = x / scale - offset; }
+        else        { wait(); /* s1 */ y = x * b.read(); }
+        wait();  /* s2 */
+        out.write(y);
+    }
+
+CFG edge naming (see DESIGN.md — the paper's own numbering is inconsistent
+between its text and figures, so we fix one reading):
+
+* ``e1``  loop_top -> if_top          (carries ``rd_a``, ``add``, the comparison)
+* ``e2``  if_top -> s0   (then branch, before its wait)
+* ``e3``  if_top -> s1   (else branch, before its wait)
+* ``e4``  s0 -> if_bottom (then branch, after its wait; carries ``div``/``sub``)
+* ``e5``  s1 -> if_bottom (else branch, after its wait; carries ``rd_b``/``mul``)
+* ``e6``  if_bottom -> s2 (carries the ``mux`` merging y)
+* ``e7``  s2 -> loop_bottom (carries ``wr``)
+* ``e8``  loop_bottom -> loop_top (backward edge)
+
+:func:`resizer_main_design` contains exactly the eight operations of the
+paper's Fig. 5 ("main computation"), which is the DFG on which Table 3's
+closed-form arrival/required/slack expressions are derived.
+:func:`resizer_design` adds the branch condition and the loop-index
+bookkeeping of Fig. 4(b).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.builder import DesignBuilder
+from repro.ir.cfg import NodeKind
+from repro.ir.design import Design
+from repro.ir.operations import OpKind
+
+
+def _build_resizer_cfg(builder: DesignBuilder) -> None:
+    """The CFG of Fig. 4(a)."""
+    builder.cfg.add_node("loop_top", NodeKind.START)
+    builder.cfg.add_node("if_top", NodeKind.BRANCH)
+    builder.cfg.add_node("s0", NodeKind.STATE)
+    builder.cfg.add_node("s1", NodeKind.STATE)
+    builder.cfg.add_node("if_bottom", NodeKind.MERGE)
+    builder.cfg.add_node("s2", NodeKind.STATE)
+    builder.cfg.add_node("loop_bottom", NodeKind.PLAIN)
+    builder.cfg.add_edge("e1", "loop_top", "if_top")
+    builder.cfg.add_edge("e2", "if_top", "s0", condition="taken")
+    builder.cfg.add_edge("e3", "if_top", "s1", condition="not_taken")
+    builder.cfg.add_edge("e4", "s0", "if_bottom")
+    builder.cfg.add_edge("e5", "s1", "if_bottom")
+    builder.cfg.add_edge("e6", "if_bottom", "s2")
+    builder.cfg.add_edge("e7", "s2", "loop_bottom")
+    builder.cfg.add_edge("e8", "loop_bottom", "loop_top", backward=True)
+
+
+def resizer_main_design(width: int = 16, name: Optional[str] = None) -> Design:
+    """The "main computation" DFG of Fig. 5: rd_a, add, div, sub, rd_b, mul, mux, wr."""
+    builder = DesignBuilder(name or "resizer_main")
+    _build_resizer_cfg(builder)
+
+    rd_a = builder.read("a", "e1", width=width, name="rd_a")
+    offset = builder.const(3, "e1", width=width, name="offset")
+    add = builder.op(OpKind.ADD, "e1", name="add", width=width,
+                     operand_widths=(width, width), inputs=[rd_a.name, offset.name])
+
+    scale = builder.const(7, "e4", width=width, name="scale")
+    div = builder.op(OpKind.DIV, "e4", name="div", width=width,
+                     operand_widths=(width, width), inputs=[add.name, scale.name])
+    offset2 = builder.const(3, "e4", width=width, name="offset2")
+    sub = builder.op(OpKind.SUB, "e4", name="sub", width=width,
+                     operand_widths=(width, width), inputs=[div.name, offset2.name])
+
+    rd_b = builder.read("b", "e5", width=width, name="rd_b")
+    mul = builder.op(OpKind.MUL, "e5", name="mul", width=width,
+                     operand_widths=(width, width), inputs=[add.name, rd_b.name])
+
+    mux = builder.op(OpKind.MUX, "e6", name="mux", width=width,
+                     operand_widths=(width, width), inputs=[sub.name, mul.name])
+    builder.write("out", "e7", mux.name, width=width, name="wr")
+
+    design = builder.build()
+    design.clock_period = 6000.0
+    design.attrs["source"] = "paper Fig. 5 (main computation)"
+    return design
+
+
+def resizer_design(width: int = 16, name: Optional[str] = None) -> Design:
+    """The full Fig. 4(b) DFG: main computation + branch condition + loop index."""
+    builder = DesignBuilder(name or "resizer")
+    _build_resizer_cfg(builder)
+
+    rd_a = builder.read("a", "e1", width=width, name="rd_a")
+    offset = builder.const(3, "e1", width=width, name="offset")
+    add = builder.op(OpKind.ADD, "e1", name="add", width=width,
+                     operand_widths=(width, width), inputs=[rd_a.name, offset.name])
+    th = builder.const(100, "e1", width=width, name="th")
+    cmp = builder.op(OpKind.GT, "e1", name="cmp", width=width,
+                     operand_widths=(width, width), inputs=[add.name, th.name],
+                     branch_condition=True)
+
+    scale = builder.const(7, "e4", width=width, name="scale")
+    div = builder.op(OpKind.DIV, "e4", name="div", width=width,
+                     operand_widths=(width, width), inputs=[add.name, scale.name])
+    offset2 = builder.const(3, "e4", width=width, name="offset2")
+    sub = builder.op(OpKind.SUB, "e4", name="sub", width=width,
+                     operand_widths=(width, width), inputs=[div.name, offset2.name])
+
+    rd_b = builder.read("b", "e5", width=width, name="rd_b")
+    mul = builder.op(OpKind.MUL, "e5", name="mul", width=width,
+                     operand_widths=(width, width), inputs=[add.name, rd_b.name])
+
+    mux = builder.op(OpKind.MUX, "e6", name="mux", width=width,
+                     operand_widths=(width, width, 1),
+                     inputs=[sub.name, mul.name, cmp.name])
+    builder.write("out", "e7", mux.name, width=width, name="wr")
+
+    # Loop-index computation (Fig. 4(b), "loop index computation" cloud).
+    index0 = builder.op(OpKind.COPY, "e1", name="i0", width=16, operand_widths=())
+    one = builder.const(1, "e7", width=16, name="one")
+    index_add = builder.op(OpKind.ADD, "e7", name="i_add", width=16,
+                           operand_widths=(16, 16), inputs=[index0.name, one.name])
+    bound = builder.const(1024, "e7", width=16, name="bound")
+    builder.op(OpKind.LT, "e7", name="i_cmp", width=16,
+               operand_widths=(16, 16), inputs=[index_add.name, bound.name],
+               branch_condition=True, keep=True)
+    builder.loop_carry(index_add.name, index0.name)
+
+    design = builder.build()
+    design.clock_period = 6000.0
+    design.attrs["source"] = "paper Fig. 3/4"
+    return design

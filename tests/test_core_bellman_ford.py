@@ -1,0 +1,58 @@
+"""The Bellman-Ford baseline must compute exactly the same slack values."""
+
+import pytest
+
+from repro.core.bellman_ford import compute_sequential_slack_bellman_ford
+from repro.core.sequential_slack import compute_sequential_slack
+from repro.core.timed_dfg import build_timed_dfg
+from repro.workloads import random_layered_design
+
+
+def _delays(design, library):
+    delays = {}
+    for op in design.dfg.operations:
+        if op.is_synthesizable:
+            delays[op.name] = library.fastest_variant(op).delay
+        else:
+            delays[op.name] = 0.0
+    return delays
+
+
+@pytest.mark.parametrize("aligned", [False, True])
+def test_equivalence_on_resizer(resizer_main, library, aligned):
+    timed = build_timed_dfg(resizer_main)
+    delays = _delays(resizer_main, library)
+    reference = compute_sequential_slack(timed, delays, 1500.0, aligned=aligned)
+    baseline = compute_sequential_slack_bellman_ford(timed, delays, 1500.0,
+                                                     aligned=aligned)
+    for name in reference.slack:
+        assert baseline.arrival[name] == pytest.approx(reference.arrival[name])
+        assert baseline.required[name] == pytest.approx(reference.required[name])
+        assert baseline.slack[name] == pytest.approx(reference.slack[name])
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+@pytest.mark.parametrize("aligned", [False, True])
+def test_equivalence_on_random_designs(library, seed, aligned):
+    design = random_layered_design(seed=seed, layers=4, ops_per_layer=5, latency=4)
+    timed = build_timed_dfg(design)
+    delays = _delays(design, library)
+    reference = compute_sequential_slack(timed, delays, 1500.0, aligned=aligned)
+    baseline = compute_sequential_slack_bellman_ford(timed, delays, 1500.0,
+                                                     aligned=aligned)
+    for name in reference.slack:
+        assert baseline.slack[name] == pytest.approx(reference.slack[name])
+
+
+def test_equivalence_on_interpolation(interpolation, library):
+    timed = build_timed_dfg(interpolation)
+    delays = _delays(interpolation, library)
+    reference = compute_sequential_slack(timed, delays, 1100.0)
+    baseline = compute_sequential_slack_bellman_ford(timed, delays, 1100.0)
+    assert baseline.worst_slack() == pytest.approx(reference.worst_slack())
+
+
+def test_invalid_clock_rejected(resizer_main, library):
+    timed = build_timed_dfg(resizer_main)
+    with pytest.raises(Exception):
+        compute_sequential_slack_bellman_ford(timed, {}, -1.0)

@@ -1,0 +1,53 @@
+"""Tests for the Proposition-1 feasibility checks."""
+
+import pytest
+
+from repro.core.budgeting import budget_slack
+from repro.core.feasibility import check_feasibility, schedule_from_arrival_times
+from repro.core.opspan import OperationSpans
+
+
+def test_feasible_with_fastest_resources(interpolation, library):
+    report = check_feasibility(interpolation, library, clock_period=1100.0)
+    assert report.feasible
+    assert report.violations == []
+    assert report.worst_slack() >= 0
+
+
+def test_infeasible_with_too_short_clock(interpolation, library):
+    report = check_feasibility(interpolation, library, clock_period=400.0)
+    assert not report.feasible
+    assert report.violations
+    assert report.worst_slack() < 0
+
+
+def test_explicit_delays_override_library(interpolation, library):
+    delays = {op.name: 10.0 for op in interpolation.dfg.operations}
+    report = check_feasibility(interpolation, library, clock_period=1100.0,
+                               delays=delays)
+    assert report.feasible
+
+
+def test_budgeted_variants_remain_feasible(interpolation, library):
+    budget = budget_slack(interpolation, library, clock_period=1100.0)
+    report = check_feasibility(interpolation, library, clock_period=1100.0,
+                               variants=budget.variants)
+    assert report.feasible
+
+
+def test_constructive_schedule_is_consistent(interpolation, library):
+    """Proposition 1: positive aligned slack yields a feasible schedule."""
+    budget = budget_slack(interpolation, library, clock_period=1100.0)
+    assert budget.feasible
+    spans = OperationSpans(interpolation)
+    schedule = schedule_from_arrival_times(
+        interpolation, library, 1100.0, budget.timing,
+        variants=budget.variants, spans=spans,
+    )
+    assert schedule.is_complete()
+    # Data dependencies never go backwards in control steps.
+    problems = [p for p in schedule.validate() if "scheduled before" in p]
+    assert problems == []
+    # Every operation sits inside its span.
+    for item in schedule.items:
+        assert item.edge in spans.span(item.op).edges

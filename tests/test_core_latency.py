@@ -1,0 +1,87 @@
+"""Tests for CFG edge latency, reachability and dominance (paper Section V)."""
+
+import pytest
+
+from repro.core.latency import LatencyAnalysis
+from repro.errors import TimingError
+
+
+@pytest.fixture(scope="module")
+def analysis(resizer_full):
+    return LatencyAnalysis(resizer_full.cfg)
+
+
+def test_paper_latency_examples(analysis):
+    """The three examples given below Definition 1 of Section V."""
+    assert analysis.latency("e4", "e6") == 0
+    assert analysis.latency("e1", "e7") == 2
+    assert analysis.latency("e3", "e4") is None
+
+
+def test_latency_of_edge_with_itself_is_zero(analysis):
+    for edge in ("e1", "e4", "e7"):
+        assert analysis.latency(edge, edge) == 0
+
+
+def test_latency_counts_states_on_the_path(analysis):
+    assert analysis.latency("e1", "e4") == 1   # crosses s0
+    assert analysis.latency("e1", "e5") == 1   # crosses s1
+    assert analysis.latency("e1", "e6") == 1   # min over the two branches
+    assert analysis.latency("e2", "e4") == 1   # s0 is the tail of e4
+    assert analysis.latency("e6", "e7") == 1   # s2 between them
+    assert analysis.latency("e4", "e7") == 1
+
+
+def test_latency_undefined_for_unreachable_pairs(analysis):
+    assert analysis.latency("e7", "e1") is None
+    assert analysis.latency("e5", "e2") is None
+
+
+def test_reachability_and_strict_reachability(analysis):
+    assert analysis.reachable("e1", "e7")
+    assert analysis.reachable("e4", "e4")
+    assert not analysis.strictly_reachable("e4", "e4")
+    assert analysis.strictly_reachable("e1", "e6")
+    assert not analysis.reachable("e2", "e5")
+
+
+def test_edge_dominance(analysis):
+    assert analysis.dominates("e1", "e4")
+    assert analysis.dominates("e2", "e4")
+    assert analysis.dominates("e1", "e6")
+    assert not analysis.dominates("e2", "e6")   # the else path avoids e2
+    assert analysis.dominates("e6", "e6")
+
+
+def test_edge_postdominance(analysis):
+    assert analysis.postdominates("e6", "e2")
+    assert analysis.postdominates("e7", "e1")
+    assert not analysis.postdominates("e4", "e1")  # the else path avoids e4
+
+
+def test_control_compatibility(analysis):
+    # Hoisting above the branch is allowed (speculation).
+    assert analysis.control_compatible("e1", "e4")
+    # Sinking below the join is allowed.
+    assert analysis.control_compatible("e6", "e4")
+    # Moving sideways into the other branch is not.
+    assert not analysis.control_compatible("e5", "e4")
+    assert not analysis.control_compatible("e3", "e2")
+
+
+def test_edge_order_and_extremes(analysis):
+    names = analysis.forward_edge_names
+    assert names[0] == "e1"
+    assert analysis.first_edge() == "e1"
+    assert analysis.last_edge() == "e7"
+    assert analysis.edge_order("e1") < analysis.edge_order("e6")
+    with pytest.raises(TimingError):
+        analysis.edge_order("e8")  # backward edge is not a forward edge
+
+
+def test_linear_cfg_latencies(interpolation):
+    analysis = LatencyAnalysis(interpolation.cfg)
+    assert analysis.latency("e1", "e2") == 1
+    assert analysis.latency("e1", "e3") == 2
+    assert analysis.latency("e2", "e3") == 1
+    assert analysis.latency("e3", "e1") is None

@@ -1,0 +1,103 @@
+"""Tests for operation spans (paper Section IV, Definition 4)."""
+
+import pytest
+
+from repro.core.latency import LatencyAnalysis
+from repro.core.opspan import OperationSpans
+from repro.errors import TimingError
+
+
+@pytest.fixture(scope="module")
+def spans(resizer_main):
+    return OperationSpans(resizer_main)
+
+
+def test_fixed_io_operations_have_singleton_spans(spans):
+    assert spans.span("rd_a").edges == ("e1",)
+    assert spans.span("rd_b").edges == ("e5",)
+    assert spans.span("wr").edges == ("e7",)
+    assert spans.span("wr").is_fixed
+
+
+def test_paper_early_edges(spans):
+    """Early edges quoted in the paper: div starts at e1, mul at e5, mux at e6."""
+    assert spans.early("add") == "e1"
+    assert spans.early("div") == "e1"
+    assert spans.early("sub") == "e1"
+    assert spans.early("mul") == "e5"
+    assert spans.early("mux") == "e6"
+    assert spans.early("wr") == "e7"
+
+
+def test_paper_div_span_is_contained(spans):
+    """The paper's span(div) = {e1, e2, e4} must be legal in our semantics."""
+    for edge in ("e1", "e2", "e4"):
+        assert edge in spans.span("div")
+    # The else branch is never legal for div.
+    assert "e3" not in spans.span("div")
+    assert "e5" not in spans.span("div")
+
+
+def test_mux_cannot_move_into_a_branch(spans):
+    info = spans.span("mux")
+    assert info.early == "e6"
+    for edge in ("e2", "e3", "e4", "e5"):
+        assert edge not in info
+
+
+def test_strict_io_successors_reproduce_table3_spans(resizer_main):
+    strict = OperationSpans(resizer_main, strict_io_successors=True)
+    assert strict.span("mux").edges == ("e6",)
+    assert strict.late("mux") == "e6"
+
+
+def test_default_mode_allows_chaining_into_the_write(resizer_main):
+    relaxed = OperationSpans(resizer_main, strict_io_successors=False)
+    assert relaxed.late("mux") == "e7"
+
+
+def test_mobility_counts_state_crossings(spans):
+    assert spans.mobility("rd_a") == 0
+    assert spans.mobility("div") >= 1
+    assert spans.mobility("mux") >= 0
+
+
+def test_branch_condition_cannot_be_postponed(resizer_full):
+    spans = OperationSpans(resizer_full)
+    assert spans.late("cmp") == "e1"
+    assert spans.span("cmp").edges == ("e1",)
+
+
+def test_pinned_operations_collapse_to_their_edge(resizer_main):
+    spans = OperationSpans(resizer_main, pinned={"div": "e4"})
+    assert spans.span("div").edges == ("e4",)
+    assert spans.early("div") == "e4"
+    assert spans.late("div") == "e4"
+
+
+def test_not_before_floor_restricts_unscheduled_ops(resizer_main):
+    latency = LatencyAnalysis(resizer_main.cfg)
+    pinned = {"rd_a": "e1", "add": "e1"}
+    spans = OperationSpans(resizer_main, latency=latency, pinned=pinned,
+                           not_before="e4")
+    # div can no longer be hoisted to e1/e2: the scheduler has passed them.
+    assert latency.edge_order(spans.early("div")) >= latency.edge_order("e4")
+
+
+def test_not_before_keeps_fixed_ops_on_their_birth_edge(resizer_main):
+    # Fixed I/O operations are pinned by nature: the floor never moves them.
+    spans = OperationSpans(resizer_main, not_before="e6")
+    assert spans.span("rd_a").edges == ("e1",)
+    assert spans.early("div") == "e6"
+
+
+def test_unknown_operation_raises(resizer_main):
+    with pytest.raises(TimingError):
+        OperationSpans(resizer_main).span("not_an_op")
+
+
+def test_linear_design_spans_cover_all_states(interpolation):
+    spans = OperationSpans(interpolation)
+    assert spans.span("mul_x_0").edges == ("e1", "e2", "e3")
+    assert spans.span("add_sum_3").edges[-1] == "e3"
+    assert spans.span("write_x").edges == ("e3",)

@@ -1,0 +1,94 @@
+"""Tests for the timed-DFG construction (paper Section V, Definition 2)."""
+
+import pytest
+
+from repro.core.latency import LatencyAnalysis
+from repro.core.opspan import OperationSpans
+from repro.core.timed_dfg import TimedDFG, build_timed_dfg, is_sink_name, sink_name
+from repro.errors import TimingError
+from repro.ir.operations import OpKind
+
+
+@pytest.fixture(scope="module")
+def timed(resizer_main):
+    return build_timed_dfg(resizer_main)
+
+
+def test_constants_are_excluded(resizer_main, timed):
+    const_names = {op.name for op in resizer_main.dfg.operations
+                   if op.kind is OpKind.CONST}
+    assert const_names
+    for name in const_names:
+        assert not timed.has_node(name)
+
+
+def test_every_operation_gets_a_sink(resizer_main, timed):
+    for op in resizer_main.dfg.operations:
+        if op.kind is OpKind.CONST:
+            continue
+        assert timed.has_node(op.name)
+        assert timed.has_node(sink_name(op.name))
+    assert len(timed.operation_nodes) * 2 == timed.num_nodes
+
+
+def test_edge_weights_are_cfg_latencies(resizer_main, timed):
+    weights = {(e.src, e.dst): e.weight for e in timed.edges}
+    assert weights[("rd_a", "add")] == 0
+    assert weights[("add", "div")] == 0      # both early on e1
+    assert weights[("add", "mul")] == 1      # crossing s1 to e5
+    assert weights[("sub", "mux")] == 1      # sub early e1, mux early e6
+    assert weights[("mul", "mux")] == 0
+    assert weights[("mux", "wr")] == 1       # crossing s2
+
+
+def test_sink_weights_span_early_to_late(resizer_main):
+    spans = OperationSpans(resizer_main, strict_io_successors=True)
+    timed = build_timed_dfg(resizer_main, spans=spans)
+    weights = {(e.src, e.dst): e.weight for e in timed.edges}
+    assert weights[("mux", sink_name("mux"))] == 0
+    assert weights[("wr", sink_name("wr"))] == 0
+    assert weights[("div", sink_name("div"))] >= 1
+
+
+def test_topological_order_puts_sinks_after_their_op(timed):
+    order = timed.topological_order()
+    for node in timed.operation_nodes:
+        assert order.index(node) < order.index(sink_name(node))
+
+
+def test_cyclic_timed_dfg_rejected():
+    timed = TimedDFG("cyclic")
+    timed.add_node("a")
+    timed.add_node("b")
+    timed.add_edge("a", "b", 0)
+    timed.add_edge("b", "a", 0)
+    with pytest.raises(TimingError):
+        timed.topological_order()
+
+
+def test_negative_weights_rejected():
+    timed = TimedDFG()
+    timed.add_node("a")
+    timed.add_node("b")
+    with pytest.raises(TimingError):
+        timed.add_edge("a", "b", -1)
+
+
+def test_duplicate_nodes_rejected():
+    timed = TimedDFG()
+    timed.add_node("a")
+    with pytest.raises(TimingError):
+        timed.add_node("a")
+
+
+def test_backward_data_edges_are_dropped(interpolation):
+    timed = build_timed_dfg(interpolation)
+    pairs = {(e.src, e.dst) for e in timed.edges}
+    for edge in interpolation.dfg.backward_edges:
+        assert (edge.src, edge.dst) not in pairs
+    timed.topological_order()  # acyclic despite the loop-carried dependencies
+
+
+def test_sink_naming_helpers():
+    assert is_sink_name(sink_name("x"))
+    assert not is_sink_name("x")

@@ -1,0 +1,93 @@
+"""Unit tests for repro.ir.dfg."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir.dfg import DFG
+from repro.ir.operations import OpKind
+
+
+def make_chain():
+    dfg = DFG("chain")
+    dfg.add_op("a", OpKind.READ, width=8)
+    dfg.add_op("b", OpKind.ADD, width=8)
+    dfg.add_op("c", OpKind.MUL, width=8)
+    dfg.add_op("d", OpKind.WRITE, width=8, operand_widths=(8,))
+    dfg.connect("a", "b", 0)
+    dfg.connect("b", "c", 0)
+    dfg.connect("c", "d", 0)
+    return dfg
+
+
+def test_duplicate_operation_rejected():
+    dfg = DFG()
+    dfg.add_op("a", OpKind.ADD)
+    with pytest.raises(IRError):
+        dfg.add_op("a", OpKind.SUB)
+
+
+def test_connect_unknown_operation_rejected():
+    dfg = DFG()
+    dfg.add_op("a", OpKind.ADD)
+    with pytest.raises(IRError):
+        dfg.connect("a", "missing")
+
+
+def test_successors_and_predecessors():
+    dfg = make_chain()
+    assert dfg.successors("a") == ["b"]
+    assert dfg.predecessors("c") == ["b"]
+    assert dfg.sources() == ["a"]
+    assert dfg.sinks() == ["d"]
+
+
+def test_topological_order_is_consistent():
+    dfg = make_chain()
+    order = dfg.topological_order()
+    assert order.index("a") < order.index("b") < order.index("c") < order.index("d")
+
+
+def test_backward_edges_do_not_create_cycles():
+    dfg = make_chain()
+    dfg.connect("c", "a", backward=True)
+    order = dfg.topological_order()  # must not raise
+    assert len(order) == 4
+    assert dfg.predecessors("a") == []  # forward view ignores backward edges
+    assert dfg.predecessors("a", forward_only=False) == ["c"]
+
+
+def test_forward_cycle_rejected():
+    dfg = DFG()
+    dfg.add_op("a", OpKind.ADD)
+    dfg.add_op("b", OpKind.ADD)
+    dfg.connect("a", "b")
+    dfg.connect("b", "a")
+    with pytest.raises(IRError):
+        dfg.topological_order()
+
+
+def test_remove_operation_cleans_edges():
+    dfg = make_chain()
+    dfg.remove_operation("b")
+    assert not dfg.has_op("b")
+    assert dfg.predecessors("c") == []
+    assert dfg.successors("a") == []
+    assert all(e.src != "b" and e.dst != "b" for e in dfg.edges)
+
+
+def test_count_by_kind_and_synthesizable():
+    dfg = make_chain()
+    counts = dfg.count_by_kind()
+    assert counts[OpKind.ADD] == 1
+    assert counts[OpKind.READ] == 1
+    names = {op.name for op in dfg.synthesizable_operations()}
+    assert names == {"b", "c"}
+
+
+def test_copy_is_deep_for_structure():
+    dfg = make_chain()
+    clone = dfg.copy()
+    clone.remove_operation("b")
+    assert dfg.has_op("b")
+    assert clone.num_operations == 3
+    assert dfg.num_operations == 4

@@ -1,0 +1,24 @@
+"""Unit tests for the DOT exporters."""
+
+from repro.ir.dot import cfg_to_dot, dfg_to_dot
+
+
+def test_cfg_dot_contains_nodes_edges_and_backedge_style(resizer_full):
+    text = cfg_to_dot(resizer_full.cfg)
+    assert text.startswith("digraph")
+    assert '"s0"' in text and '"s1"' in text and '"s2"' in text
+    assert "style=dashed" in text            # the loop back edge
+    assert 'label="e1"' in text
+
+
+def test_dfg_dot_lists_all_operations(resizer_full):
+    text = dfg_to_dot(resizer_full.dfg)
+    for name in ("rd_a", "add", "div", "mul", "mux", "wr"):
+        assert f'"{name}"' in text
+
+
+def test_dfg_dot_clusters_by_schedule(resizer_main):
+    schedule = {op.name: op.birth_edge for op in resizer_main.dfg.operations}
+    text = dfg_to_dot(resizer_main.dfg, schedule=schedule)
+    assert "subgraph cluster_0" in text
+    assert "style=dotted" in text

@@ -1,0 +1,68 @@
+"""Unit tests for resource variants and classes."""
+
+import pytest
+
+from repro.errors import LibraryError
+from repro.ir.operations import OpKind
+from repro.lib.resource import ResourceClass, ResourceVariant
+
+
+def variant(delay, area, grade=0):
+    return ResourceVariant(name=f"v{grade}", kind=OpKind.ADD, width=16,
+                           delay=delay, area=area, grade=grade)
+
+
+def test_variant_validation():
+    with pytest.raises(LibraryError):
+        ResourceVariant(name="bad", kind=OpKind.ADD, width=8, delay=0.0, area=10.0)
+    with pytest.raises(LibraryError):
+        ResourceVariant(name="bad", kind=OpKind.ADD, width=8, delay=10.0, area=0.0)
+
+
+def test_class_orders_variants_fastest_first():
+    cls = ResourceClass(OpKind.ADD, 16,
+                        [variant(400, 254, 1), variant(220, 556, 0), variant(940, 210, 2)])
+    assert [v.delay for v in cls.variants] == [220, 400, 940]
+    assert cls.fastest.delay == 220
+    assert cls.slowest.delay == 940
+    assert cls.min_delay == 220 and cls.max_delay == 940
+
+
+def test_dominated_variants_are_dropped():
+    # The 500 ps / 600 area point is both slower and bigger than 400/254.
+    cls = ResourceClass(OpKind.ADD, 16,
+                        [variant(220, 556), variant(400, 254), variant(500, 600)])
+    assert len(cls.variants) == 2
+    assert all(v.area <= 556 for v in cls.variants)
+
+
+def test_cheapest_within_budget():
+    cls = ResourceClass(OpKind.ADD, 16,
+                        [variant(220, 556), variant(400, 254), variant(940, 210)])
+    assert cls.cheapest_within(1000).delay == 940
+    assert cls.cheapest_within(500).delay == 400
+    assert cls.cheapest_within(250).delay == 220
+    # Budget below the fastest delay falls back to the fastest grade.
+    assert cls.cheapest_within(100).delay == 220
+
+
+def test_next_faster_and_slower():
+    cls = ResourceClass(OpKind.ADD, 16,
+                        [variant(220, 556), variant(400, 254), variant(940, 210)])
+    middle = cls.variants[1]
+    assert cls.next_faster(middle).delay == 220
+    assert cls.next_slower(middle).delay == 940
+    assert cls.next_faster(cls.fastest) is None
+    assert cls.next_slower(cls.slowest) is None
+
+
+def test_area_sensitivity_is_positive_until_slowest():
+    cls = ResourceClass(OpKind.ADD, 16,
+                        [variant(220, 556), variant(400, 254), variant(940, 210)])
+    assert cls.area_sensitivity(cls.fastest) == pytest.approx((556 - 254) / 180.0)
+    assert cls.area_sensitivity(cls.slowest) == 0.0
+
+
+def test_empty_class_rejected():
+    with pytest.raises(LibraryError):
+        ResourceClass(OpKind.ADD, 16, [])

@@ -1,0 +1,52 @@
+"""Smoke tests of the package-level API surface."""
+
+import pytest
+
+import repro
+import repro.core as core
+from repro.errors import (
+    BindingError,
+    ElaborationError,
+    InfeasibleDesignError,
+    IRError,
+    LibraryError,
+    ParseError,
+    ReproError,
+    SchedulingError,
+    TimingError,
+)
+
+
+def test_version_is_exposed():
+    assert repro.__version__
+    assert repro.__version__.count(".") == 2
+
+
+def test_exception_hierarchy():
+    for exc in (IRError, ElaborationError, LibraryError, TimingError,
+                SchedulingError, BindingError, InfeasibleDesignError):
+        assert issubclass(exc, ReproError)
+    assert issubclass(InfeasibleDesignError, SchedulingError)
+    assert issubclass(ParseError, ElaborationError)
+
+
+def test_parse_error_formats_location():
+    error = ParseError("unexpected token", line=3, column=7)
+    assert "line 3" in str(error)
+    assert "column 7" in str(error)
+    assert error.line == 3 and error.column == 7
+
+
+def test_core_lazy_exports():
+    # SlackScheduler is loaded lazily to keep the core/sched import graph
+    # acyclic; both the class and its result type must be reachable.
+    assert core.SlackScheduler is not None
+    assert core.SlackScheduleResult is not None
+    with pytest.raises(AttributeError):
+        core.does_not_exist  # noqa: B018
+
+
+def test_top_level_reexports():
+    # The curated public names promised by repro.__all__ must resolve.
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None

@@ -1,0 +1,132 @@
+"""Property-based tests (hypothesis) on the core analyses and data structures."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.bellman_ford import compute_sequential_slack_bellman_ford
+from repro.core.budgeting import budget_slack
+from repro.core.opspan import OperationSpans
+from repro.core.sequential_slack import compute_sequential_slack
+from repro.core.timed_dfg import build_timed_dfg
+from repro.ir.operations import OpKind
+from repro.lib import tsmc90_library
+from repro.sched.allocation import minimal_allocation
+from repro.sched.list_scheduler import try_list_schedule
+from repro.workloads import random_layered_design
+
+_LIBRARY = tsmc90_library()
+
+_design_params = st.tuples(
+    st.integers(min_value=0, max_value=10 ** 6),     # seed
+    st.integers(min_value=1, max_value=4),           # layers
+    st.integers(min_value=2, max_value=6),           # ops per layer
+    st.integers(min_value=2, max_value=6),           # latency (states)
+)
+
+_SETTINGS = settings(max_examples=25, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+def _design(params):
+    seed, layers, ops_per_layer, latency = params
+    return random_layered_design(seed=seed, layers=layers,
+                                 ops_per_layer=ops_per_layer, latency=latency,
+                                 clock_period=2000.0)
+
+
+def _fastest(design):
+    return {op.name: (_LIBRARY.fastest_variant(op) if op.is_synthesizable else None)
+            for op in design.dfg.operations if op.kind is not OpKind.CONST}
+
+
+def _delays(design):
+    return {name: _LIBRARY.operation_delay(design.dfg.op(name), variant)
+            for name, variant in _fastest(design).items()}
+
+
+@given(_design_params)
+@_SETTINGS
+def test_spans_always_contain_the_birth_reachable_interval(params):
+    design = _design(params)
+    spans = OperationSpans(design)
+    latency = spans.latency
+    for op in design.dfg.operations:
+        if op.kind is OpKind.CONST:
+            continue
+        info = spans.span(op.name)
+        assert info.early in info.edges
+        assert info.late in info.edges
+        assert latency.reachable(info.early, info.late)
+        if op.is_fixed:
+            assert info.edges == (op.birth_edge,)
+
+
+@given(_design_params)
+@_SETTINGS
+def test_sequential_and_bellman_ford_slack_agree(params):
+    design = _design(params)
+    timed = build_timed_dfg(design)
+    delays = _delays(design)
+    fast = compute_sequential_slack(timed, delays, 2000.0)
+    slow = compute_sequential_slack_bellman_ford(timed, delays, 2000.0)
+    for name in fast.slack:
+        assert slow.slack[name] == pytest.approx(fast.slack[name])
+
+
+@given(_design_params)
+@_SETTINGS
+def test_aligned_slack_is_never_larger_than_plain_slack(params):
+    design = _design(params)
+    timed = build_timed_dfg(design)
+    delays = _delays(design)
+    plain = compute_sequential_slack(timed, delays, 2000.0, aligned=False)
+    aligned = compute_sequential_slack(timed, delays, 2000.0, aligned=True)
+    for name in plain.slack:
+        assert aligned.slack[name] <= plain.slack[name] + 1e-6
+
+
+@given(_design_params)
+@_SETTINGS
+def test_critical_operations_share_the_worst_slack(params):
+    design = _design(params)
+    timed = build_timed_dfg(design)
+    delays = _delays(design)
+    result = compute_sequential_slack(timed, delays, 2000.0)
+    worst = result.worst_slack()
+    critical = result.critical_operations()
+    assert critical
+    for name in critical:
+        assert result.slack[name] == pytest.approx(worst)
+
+
+@given(_design_params)
+@_SETTINGS
+def test_budgeted_delays_respect_library_bounds(params):
+    design = _design(params)
+    result = budget_slack(design, _LIBRARY, clock_period=2000.0)
+    for op in design.dfg.operations:
+        if not op.is_synthesizable:
+            continue
+        low, high = _LIBRARY.delay_range_for_op(op)
+        assert low - 1e-6 <= result.delay_of(op.name) <= high + 1e-6
+
+
+@given(_design_params)
+@_SETTINGS
+def test_list_schedules_are_always_consistent(params):
+    design = _design(params)
+    variants = _fastest(design)
+    allocation = minimal_allocation(design, _LIBRARY)
+    attempt = try_list_schedule(design, _LIBRARY, 2000.0, variants, allocation)
+    if not attempt.success:
+        # Tight minimal allocations may legitimately fail; the relaxation loop
+        # handles that in the flows.  A failure must still carry a diagnosis.
+        assert attempt.failure is not None
+        assert attempt.failure.reason in ("resource", "timing", "unreachable")
+        return
+    schedule = attempt.schedule
+    assert schedule.is_complete()
+    assert schedule.validate() == []
+    spans = OperationSpans(design)
+    for item in schedule.items:
+        assert item.edge in spans.span(item.op).edges

@@ -1,0 +1,108 @@
+"""Tests for the RTL-level models: datapath, area, timing, recovery, power, Verilog."""
+
+import pytest
+
+from repro.flows import conventional_flow, slack_based_flow
+from repro.rtl.area import area_report
+from repro.rtl.area_recovery import recover_area
+from repro.rtl.datapath import build_datapath
+from repro.rtl.power import power_report
+from repro.rtl.timing import analyze_state_timing
+from repro.rtl.verilog import emit_verilog
+from repro.core.slack_scheduler import SlackScheduler
+
+
+@pytest.fixture(scope="module")
+def datapath(interpolation, library):
+    result = SlackScheduler(interpolation, library, 1100.0).run()
+    return build_datapath(interpolation, library, result.schedule)
+
+
+def test_datapath_summary(datapath):
+    summary = datapath.summary()
+    assert summary["fu_instances"] == datapath.num_instances
+    assert summary["states"] >= 3
+    assert datapath.num_registers > 0
+
+
+def test_area_report_components(datapath):
+    report = area_report(datapath)
+    assert report.fu_area > 0
+    assert report.register_area > 0
+    assert report.fsm_area > 0
+    assert report.total == pytest.approx(
+        report.fu_area + report.register_area + report.mux_area + report.fsm_area)
+    breakdown = report.breakdown()
+    assert breakdown["total"] == pytest.approx(report.total)
+
+
+def test_state_timing_meets_clock(datapath):
+    timing = analyze_state_timing(datapath)
+    assert timing.meets_timing()
+    assert timing.violations() == []
+    assert timing.worst_state_slack >= 0
+    for name, slack in timing.op_slack.items():
+        assert slack >= -1e-6
+
+
+def test_state_timing_detects_violations(datapath, library):
+    # Force the fastest-graded multiplier instance to the slowest grade: some
+    # state must now violate the 1100 ps clock.
+    from repro.ir.operations import OpKind
+    instance = min(
+        (i for i in datapath.binding.instances if i.class_key[0] == "mul"),
+        key=lambda i: i.variant.delay,
+    )
+    original = instance.variant
+    instance.variant = library.class_for(OpKind.MUL, 8).slowest
+    try:
+        timing = analyze_state_timing(datapath)
+        # Two chained multiplications at 610 ps exceed 1100 ps.
+        if any(len(datapath.schedule.ops_on_edge(e)) > 1
+               for e in datapath.schedule.used_edges):
+            assert timing.worst_state_slack <= 1100.0
+    finally:
+        instance.variant = original
+
+
+def test_area_recovery_never_increases_area_or_breaks_timing(interpolation, library):
+    flow = conventional_flow(interpolation, library, clock_period=1100.0,
+                             area_recovery=False)
+    datapath = flow.datapath
+    before = datapath.binding.total_fu_area()
+    result = recover_area(datapath)
+    after = datapath.binding.total_fu_area()
+    assert after <= before
+    assert result.area_saved == pytest.approx(before - after)
+    assert analyze_state_timing(datapath).meets_timing()
+
+
+def test_power_report_scales_with_latency(library):
+    from repro.workloads import idct_design
+    fast = conventional_flow(idct_design(latency=8, rows=1, clock_period=1500.0),
+                             library, clock_period=1500.0)
+    slow = conventional_flow(idct_design(latency=24, rows=1, clock_period=1500.0),
+                             library, clock_period=1500.0)
+    assert fast.power.total > 0 and slow.power.total > 0
+    assert fast.power.iteration_time < slow.power.iteration_time
+    assert fast.throughput > slow.throughput
+
+
+def test_power_activity_scaling(datapath):
+    base = power_report(datapath, activity=1.0)
+    half = power_report(datapath, activity=0.5)
+    assert half.dynamic < base.dynamic
+    assert half.leakage == pytest.approx(base.leakage)
+
+
+def test_verilog_emission_contains_structure(interpolation, library):
+    flow = slack_based_flow(interpolation, library, clock_period=1100.0)
+    text = emit_verilog(flow.datapath)
+    assert text.startswith("//")
+    assert "module interpolation_u4" in text
+    assert "endmodule" in text
+    assert "state" in text
+    assert "fx_data" in text
+    # Every functional-unit instance is documented in the netlist.
+    for instance in flow.datapath.binding.instances:
+        assert instance.name in text

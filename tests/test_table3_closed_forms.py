@@ -1,0 +1,87 @@
+"""Reproduction of the paper's Table 3: sequential slack closed forms.
+
+With I/O delay ``d``, operation delay ``D`` and clock period ``T`` such that
+``D + d < T < 2*D``, the arrival/required/slack of every operation of the
+resizer "main computation" DFG must match the closed-form expressions of the
+paper's Table 3.  The spans use the strict-I/O reading (``late(mux) = e6``),
+which is the one the paper's recurrences assume.
+"""
+
+import pytest
+
+from repro.core.opspan import OperationSpans
+from repro.core.sequential_slack import compute_sequential_slack
+from repro.core.timed_dfg import build_timed_dfg
+from repro.workloads import resizer_main_design
+
+
+def expected_rows(d, D, T):
+    """The closed forms of paper Table 3 (arrival, required, slack per op)."""
+    return {
+        "rd_a": (0.0, 2 * T - 4 * D - d, 2 * T - 4 * D - d),
+        "add": (d, 2 * T - 4 * D, 2 * T - 4 * D - d),
+        "div": (d + D, 2 * T - 3 * D, 2 * T - 4 * D - d),
+        "sub": (d + 2 * D, 2 * T - 2 * D, 2 * T - 4 * D - d),
+        "rd_b": (0.0, T - 2 * D - d, T - 2 * D - d),
+        "mul": (d, T - 2 * D, T - 2 * D - d),
+        "mux": (d + 3 * D - T, T - D, 2 * T - 4 * D - d),
+        "wr": (d + 4 * D - 2 * T, T - d, 3 * T - 4 * D - 2 * d),
+    }
+
+
+PARAMETER_SETS = [
+    (50.0, 700.0, 1200.0),
+    (100.0, 600.0, 1000.0),
+    (10.0, 500.0, 900.0),
+    (25.0, 800.0, 1500.0),
+]
+
+
+@pytest.fixture(scope="module")
+def timed_and_design():
+    design = resizer_main_design()
+    spans = OperationSpans(design, strict_io_successors=True)
+    timed = build_timed_dfg(design, spans=spans)
+    return design, timed
+
+
+def delays_for(design, d, D):
+    delays = {}
+    for op in design.dfg.operations:
+        if op.name in ("rd_a", "rd_b", "wr"):
+            delays[op.name] = d
+        elif op.name in ("add", "div", "sub", "mul", "mux"):
+            delays[op.name] = D
+    return delays
+
+
+@pytest.mark.parametrize("d,D,T", PARAMETER_SETS)
+def test_table3_arrival_required_slack(timed_and_design, d, D, T):
+    assert D + d < T < 2 * D, "parameter set violates the paper's regime"
+    design, timed = timed_and_design
+    result = compute_sequential_slack(timed, delays_for(design, d, D), T,
+                                      aligned=False)
+    for op, (arr, req, slack) in expected_rows(d, D, T).items():
+        assert result.arrival[op] == pytest.approx(arr), f"arrival({op})"
+        assert result.required[op] == pytest.approx(req), f"required({op})"
+        assert result.slack[op] == pytest.approx(slack), f"slack({op})"
+
+
+@pytest.mark.parametrize("d,D,T", PARAMETER_SETS)
+def test_table3_critical_path(timed_and_design, d, D, T):
+    """The paper's observation: rd_a -> add -> div -> sub -> mux share the
+    minimum slack, i.e. they form the critical path."""
+    design, timed = timed_and_design
+    result = compute_sequential_slack(timed, delays_for(design, d, D), T,
+                                      aligned=False)
+    critical = set(result.critical_operations())
+    assert critical == {"rd_a", "add", "div", "sub", "mux"}
+
+
+def test_table3_slack_ordering(timed_and_design):
+    """wr always has the largest slack; mul/rd_b sit between."""
+    design, timed = timed_and_design
+    d, D, T = 50.0, 700.0, 1200.0
+    result = compute_sequential_slack(timed, delays_for(design, d, D), T)
+    assert result.slack["wr"] > result.slack["mul"] > result.slack["add"]
+    assert result.slack["mul"] == pytest.approx(result.slack["rd_b"])

@@ -1,0 +1,122 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.ir.operations import OpKind
+from repro.ir.validate import validate_design
+from repro.workloads import (
+    dct_butterfly_design,
+    fft_stage_design,
+    fir_design,
+    idct_design,
+    interpolation_design,
+    matmul_design,
+    random_layered_design,
+    resizer_design,
+    resizer_main_design,
+    sobel_design,
+)
+
+
+def test_interpolation_matches_paper_op_counts(interpolation):
+    counts = interpolation.dfg.count_by_kind()
+    assert counts[OpKind.MUL] == 7
+    assert counts[OpKind.ADD] == 4
+    assert counts[OpKind.WRITE] == 1
+    assert interpolation.num_states == 3
+    assert interpolation.clock_period == 1100.0
+
+
+def test_interpolation_unroll_scales_op_counts():
+    design = interpolation_design(unroll=6, num_states=4)
+    counts = design.dfg.count_by_kind()
+    assert counts[OpKind.MUL] == 11   # 6 x-updates + 5 deltaX updates
+    assert counts[OpKind.ADD] == 6
+    assert design.num_states == 4
+
+
+def test_interpolation_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        interpolation_design(unroll=0)
+    with pytest.raises(ValueError):
+        interpolation_design(num_states=0)
+
+
+def test_resizer_main_matches_fig5():
+    design = resizer_main_design()
+    names = {op.name for op in design.dfg.operations if op.kind is not OpKind.CONST}
+    assert names == {"rd_a", "add", "div", "sub", "rd_b", "mul", "mux", "wr"}
+    assert design.cfg.has_edge("e8")
+    assert design.cfg.edge("e8").backward
+
+
+def test_resizer_full_adds_condition_and_index():
+    design = resizer_design()
+    assert design.dfg.has_op("cmp")
+    assert design.dfg.op("cmp").attrs.get("branch_condition")
+    assert design.dfg.has_op("i_add")
+    assert any(e.backward for e in design.dfg.edges)
+
+
+def test_idct_op_counts_scale_with_rows():
+    one = idct_design(latency=8, rows=1)
+    two = idct_design(latency=8, rows=2)
+    count_one = one.dfg.count_by_kind()
+    count_two = two.dfg.count_by_kind()
+    assert count_one[OpKind.MUL] == 14
+    assert count_two[OpKind.MUL] == 28
+    assert count_one[OpKind.READ] == 8
+    assert count_one[OpKind.WRITE] == 8
+
+
+def test_idct_two_dimensional_doubles_the_passes():
+    flat = idct_design(latency=16, rows=8)
+    full = idct_design(latency=16, rows=8, two_dimensional=True)
+    assert full.dfg.count_by_kind()[OpKind.MUL] == \
+        2 * flat.dfg.count_by_kind()[OpKind.MUL]
+
+
+def test_idct_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        idct_design(latency=1)
+    with pytest.raises(ValueError):
+        idct_design(rows=0)
+
+
+def test_all_kernels_validate(library):
+    designs = [
+        fir_design(taps=4, latency=3),
+        matmul_design(size=2, latency=4),
+        dct_butterfly_design(latency=3),
+        fft_stage_design(points=4, latency=3),
+        sobel_design(latency=3),
+        idct_design(latency=8, rows=1),
+        interpolation_design(),
+        resizer_design(),
+        resizer_main_design(),
+        random_layered_design(seed=7),
+    ]
+    for design in designs:
+        warnings = validate_design(design)
+        assert isinstance(warnings, list)
+        assert design.dfg.num_operations > 0
+
+
+def test_random_generator_is_deterministic():
+    a = random_layered_design(seed=3, layers=3, ops_per_layer=4)
+    b = random_layered_design(seed=3, layers=3, ops_per_layer=4)
+    assert [op.name for op in a.dfg.operations] == [op.name for op in b.dfg.operations]
+    assert [op.kind for op in a.dfg.operations] == [op.kind for op in b.dfg.operations]
+    c = random_layered_design(seed=4, layers=3, ops_per_layer=4)
+    assert [op.kind for op in a.dfg.operations] != [op.kind for op in c.dfg.operations]
+
+
+def test_kernel_parameter_validation():
+    with pytest.raises(ValueError):
+        fir_design(taps=0)
+    with pytest.raises(ValueError):
+        matmul_design(size=0)
+    with pytest.raises(ValueError):
+        fft_stage_design(points=3)
+    with pytest.raises(ValueError):
+        random_layered_design(layers=0)
