@@ -16,8 +16,14 @@ Reproduction targets (shape, not absolute values):
 import pytest
 
 from conftest import idct_rows
-from repro.flows import format_table, idct_design_points, run_dse, table4_rows
-from repro.workloads import idct_design
+from repro.flows import (
+    DSEEngine,
+    format_table,
+    idct_design_points,
+    run_dse,
+    table4_rows,
+)
+from repro.workloads import IDCTPointFactory
 
 CLOCK = 1500.0
 
@@ -25,14 +31,15 @@ CLOCK = 1500.0
 @pytest.fixture(scope="module")
 def dse_result(library):
     points = idct_design_points(clock_period=CLOCK)
-    rows = idct_rows()
+    return run_dse(IDCTPointFactory(rows=idct_rows()), library, points)
 
-    def factory(point):
-        return idct_design(latency=point.latency, rows=rows,
-                           clock_period=point.clock_period,
-                           pipeline_ii=point.pipeline_ii)
 
-    return run_dse(factory, library, points)
+@pytest.fixture(scope="module")
+def engine_result(library):
+    points = idct_design_points(clock_period=CLOCK)
+    engine = DSEEngine(IDCTPointFactory(rows=idct_rows()), library, points,
+                       executor="process", max_workers=2)
+    return engine.run()
 
 
 def test_table4_area_savings(benchmark, dse_result):
@@ -76,6 +83,32 @@ def test_section7_exploration_ranges(benchmark, dse_result):
     assert throughput_range >= 4.0
     assert power_range >= 4.0
     assert 1.1 <= area_range <= 4.0
+
+
+def test_parallel_engine_matches_serial_and_records_wall_time(
+        benchmark, dse_result, engine_result):
+    """The engine's 2-worker sweep must agree with the serial baseline
+    entry for entry; both wall times are recorded for trend tracking."""
+    assert not engine_result.errors
+    assert ([entry.metrics() for entry in engine_result.entries]
+            == [entry.metrics() for entry in dse_result.entries])
+
+    benchmark.extra_info["serial_wall_s"] = round(dse_result.wall_time_seconds, 3)
+    benchmark.extra_info["engine_wall_s"] = round(
+        engine_result.wall_time_seconds, 3)
+    benchmark.extra_info["engine_executor"] = engine_result.executor
+    benchmark.extra_info["engine_workers"] = engine_result.max_workers
+    print()
+    print(format_table(
+        ["harness", "wall time (s)"],
+        [["serial run_dse", f"{dse_result.wall_time_seconds:.2f}"],
+         [f"DSEEngine ({engine_result.executor}, "
+          f"{engine_result.max_workers} workers)",
+          f"{engine_result.wall_time_seconds:.2f}"]],
+        title="Table 4 sweep wall time, serial vs parallel engine",
+    ))
+    benchmark.pedantic(lambda: engine_result.wall_time_seconds,
+                       rounds=1, iterations=1)
 
 
 def test_pipelining_increases_area_and_throughput(benchmark, dse_result):

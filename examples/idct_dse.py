@@ -6,33 +6,41 @@ down to 8 states, pipelined and not), runs the conventional and the
 slack-based flow on each, and prints the per-point area comparison, the
 average saving and the Section VII exploration ranges.
 
-Run with:  python examples/idct_dse.py [rows]
+Run with:  python examples/idct_dse.py [rows] [workers]
 where ``rows`` (default 2, paper-scale 8) is the number of 8-point row
-transforms per design.
+transforms per design and ``workers`` (default: one per CPU) is the
+DSE-engine process-pool size.
 """
 
 import sys
 
-from repro.flows import format_table, idct_design_points, run_dse, table4_rows
+from repro.flows import DSEEngine, format_table, idct_design_points, table4_rows
 from repro.lib import tsmc90_library
-from repro.workloads import idct_design
+from repro.workloads import IDCTPointFactory
 
 CLOCK_PERIOD = 1500.0
 
 
 def main():
     rows_per_design = int(sys.argv[1]) if len(sys.argv) > 1 else 2
+    workers = int(sys.argv[2]) if len(sys.argv) > 2 else None
     library = tsmc90_library()
     points = idct_design_points(clock_period=CLOCK_PERIOD)
 
-    def factory(point):
-        return idct_design(latency=point.latency, rows=rows_per_design,
-                           clock_period=point.clock_period,
-                           pipeline_ii=point.pipeline_ii)
-
     print(f"Running {len(points)} design points (IDCT rows={rows_per_design}, "
           f"T={CLOCK_PERIOD:.0f} ps) through both flows ...")
-    result = run_dse(factory, library, points)
+    engine = DSEEngine(
+        IDCTPointFactory(rows=rows_per_design), library, points,
+        max_workers=workers,
+        progress=lambda e: print(f"  [{e.done:2d}/{e.total}] "
+                                 f"{e.point.name:<4} {e.status}"),
+    )
+    engine_result = engine.run()
+    engine_result.raise_on_errors()
+    print(f"(executor: {engine_result.executor}, "
+          f"{engine_result.max_workers} worker(s); pass a second argument "
+          f"to set the worker count)")
+    result = engine_result.to_dse_result()
 
     header, rows = table4_rows(result)
     print()

@@ -68,6 +68,12 @@ class SlackScheduler:
         useful for ablation studies.
     pipeline_ii, timing_margin, max_relaxations:
         Passed through to the underlying scheduling machinery.
+    artifacts:
+        Optional precomputed per-point analyses
+        (:class:`repro.flows.pipeline.PointArtifacts`); when given, the
+        latency analysis, operation spans and timed DFG are reused instead
+        of being rebuilt, which matters for DSE sweeps that run several
+        flows on the same design.
     """
 
     def __init__(
@@ -80,6 +86,7 @@ class SlackScheduler:
         pipeline_ii: Optional[int] = None,
         timing_margin: float = 0.0,
         max_relaxations: int = 200,
+        artifacts=None,
     ):
         self.design = design
         self.library = library
@@ -90,9 +97,15 @@ class SlackScheduler:
         self.timing_margin = timing_margin
         self.max_relaxations = max_relaxations
 
-        self._latency = LatencyAnalysis(design.cfg)
-        self._spans = OperationSpans(design, latency=self._latency)
-        self._timed = build_timed_dfg(design, spans=self._spans, latency=self._latency)
+        if artifacts is not None:
+            self._latency = artifacts.latency
+            self._spans = artifacts.spans
+            self._timed = artifacts.timed
+        else:
+            self._latency = LatencyAnalysis(design.cfg)
+            self._spans = OperationSpans(design, latency=self._latency)
+            self._timed = build_timed_dfg(design, spans=self._spans,
+                                          latency=self._latency)
         self._rebudget_count = 0
         # Grades forced by the relaxation loop; re-budgeting must not undo them.
         self._locked: Dict[str, ResourceVariant] = {}

@@ -8,13 +8,34 @@
   scheduling with per-edge re-budgeting, grade-aware binding, area recovery.
 * :mod:`repro.flows.dse` — sweeps latency/pipelining design points and runs
   both flows on each (paper Table 4 and the §VII power/throughput ranges).
+* :mod:`repro.flows.engine` — the parallel, resumable :class:`DSEEngine`
+  that fans design points out over a process pool with checkpoint/resume,
+  plus :func:`scenario_sweep` for kernel/random workload suites.
+* :mod:`repro.flows.pipeline` — the per-point pipeline stage
+  (:class:`PointArtifacts`) shared by the flows and the sweep harnesses.
 * :mod:`repro.flows.report` — text tables matching the paper's layout.
 """
 
 from repro.flows.result import FlowResult
+from repro.flows.pipeline import PointArtifacts
 from repro.flows.conventional import conventional_flow
 from repro.flows.slack_based import slack_based_flow
-from repro.flows.dse import DesignPoint, DSEResult, run_dse, idct_design_points
+from repro.flows.dse import (
+    DesignPoint,
+    DSEEntry,
+    DSEResult,
+    evaluate_point,
+    run_dse,
+    idct_design_points,
+)
+from repro.flows.engine import (
+    DSEEngine,
+    EngineResult,
+    PointOutcome,
+    ProgressEvent,
+    SweepScenario,
+    scenario_sweep,
+)
 from repro.flows.report import (
     format_table,
     table1_rows,
@@ -25,12 +46,21 @@ from repro.flows.report import (
 
 __all__ = [
     "FlowResult",
+    "PointArtifacts",
     "conventional_flow",
     "slack_based_flow",
     "DesignPoint",
+    "DSEEntry",
     "DSEResult",
+    "evaluate_point",
     "run_dse",
     "idct_design_points",
+    "DSEEngine",
+    "EngineResult",
+    "PointOutcome",
+    "ProgressEvent",
+    "SweepScenario",
+    "scenario_sweep",
     "format_table",
     "table1_rows",
     "table2_rows",

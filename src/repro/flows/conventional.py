@@ -22,14 +22,8 @@ from repro.ir.design import Design
 from repro.ir.operations import OpKind
 from repro.lib.library import Library
 from repro.lib.resource import ResourceVariant
-from repro.core.latency import LatencyAnalysis
-from repro.core.opspan import OperationSpans
+from repro.flows.pipeline import PointArtifacts, finalize_flow
 from repro.flows.result import FlowResult
-from repro.rtl.area import area_report
-from repro.rtl.area_recovery import recover_area
-from repro.rtl.datapath import build_datapath
-from repro.rtl.power import power_report
-from repro.rtl.timing import analyze_state_timing
 from repro.sched.priorities import mobility_priority
 from repro.sched.relaxation import schedule_with_relaxation
 
@@ -43,16 +37,24 @@ def conventional_flow(
     timing_margin: float = 0.0,
     area_recovery: bool = True,
     register_margin: float = 0.0,
+    artifacts: Optional[PointArtifacts] = None,
 ) -> FlowResult:
-    """Run the conventional flow on ``design`` and return a :class:`FlowResult`."""
+    """Run the conventional flow on ``design`` and return a :class:`FlowResult`.
+
+    ``artifacts`` supplies precomputed per-point analyses (see
+    :class:`repro.flows.pipeline.PointArtifacts`) so that sweeps running both
+    flows on the same design pay for latency/span analysis only once.
+    """
     clock_period = clock_period or design.clock_period
     if clock_period is None:
         raise ReproError("a clock period is required (argument or design attribute)")
     pipeline_ii = pipeline_ii if pipeline_ii is not None else design.pipeline_ii
 
     start_time = time.perf_counter()
-    latency = LatencyAnalysis(design.cfg)
-    spans = OperationSpans(design, latency=latency)
+    if artifacts is None:
+        artifacts = PointArtifacts.build(design)
+    latency = artifacts.latency
+    spans = artifacts.spans
 
     variants: Dict[str, Optional[ResourceVariant]] = {}
     for op in design.dfg.operations:
@@ -75,40 +77,23 @@ def conventional_flow(
     )
     scheduling_seconds = time.perf_counter() - scheduling_start
 
-    datapath = build_datapath(design, library, schedule, pipeline_ii=pipeline_ii)
-    recovery = None
-    if area_recovery:
-        recovery = recover_area(datapath, register_margin=register_margin)
-        datapath.refresh_interconnect()
-
-    timing = analyze_state_timing(datapath, register_margin=register_margin)
-    area = area_report(datapath)
-    power = power_report(datapath)
-    runtime = time.perf_counter() - start_time
-
     details: Dict[str, object] = {
         "initial_grades": initial_grades,
         "relaxation_attempts": relax_log.attempts,
         "resources_added": list(relax_log.resources_added),
         "grade_upgrades": list(relax_log.upgrades),
     }
-    if recovery is not None:
-        details["area_recovery_downgrades"] = recovery.downgrades
-        details["area_recovery_saved"] = recovery.area_saved
-
-    return FlowResult(
+    return finalize_flow(
         flow="conventional" if initial_grades == "fastest" else "slowest-first",
-        design_name=design.name,
-        clock_period=clock_period,
+        design=design,
+        library=library,
         schedule=schedule,
-        datapath=datapath,
-        area=area,
-        power=power,
-        timing=timing,
         allocation=allocation,
-        runtime_seconds=runtime,
+        clock_period=clock_period,
+        pipeline_ii=pipeline_ii,
+        start_time=start_time,
         scheduling_seconds=scheduling_seconds,
-        latency_steps=schedule.latency_steps(),
-        meets_timing=timing.meets_timing(),
         details=details,
+        area_recovery=area_recovery,
+        register_margin=register_margin,
     )

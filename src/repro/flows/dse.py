@@ -17,6 +17,7 @@ from repro.errors import ReproError
 from repro.ir.design import Design
 from repro.lib.library import Library
 from repro.flows.conventional import conventional_flow
+from repro.flows.pipeline import PointArtifacts
 from repro.flows.result import FlowResult
 from repro.flows.slack_based import slack_based_flow
 
@@ -62,6 +63,37 @@ class DSEEntry:
             return 0.0
         return 100.0 * (self.area_conventional - self.area_slack) / self.area_conventional
 
+    def metrics(self) -> Dict[str, object]:
+        """A JSON-safe summary of the entry (used by checkpoints and tests).
+
+        Wall-clock fields are deliberately excluded so that two runs of the
+        same sweep — serial or parallel, in any process — produce identical
+        metrics.
+        """
+
+        def flow_metrics(result: FlowResult) -> Dict[str, object]:
+            return {
+                "area": result.total_area,
+                "power": result.total_power,
+                "throughput": result.throughput,
+                "latency_steps": result.latency_steps,
+                "meets_timing": result.meets_timing,
+                "fu_instances": result.datapath.num_instances,
+                "registers": result.datapath.num_registers,
+            }
+
+        return {
+            "point": {
+                "name": self.point.name,
+                "latency": self.point.latency,
+                "pipeline_ii": self.point.pipeline_ii,
+                "clock_period": self.point.clock_period,
+            },
+            "conventional": flow_metrics(self.conventional),
+            "slack_based": flow_metrics(self.slack_based),
+            "saving_percent": self.saving_percent,
+        }
+
 
 @dataclass
 class DSEResult:
@@ -72,29 +104,40 @@ class DSEResult:
 
     def average_saving_percent(self) -> float:
         if not self.entries:
-            return 0.0
+            raise ReproError("average saving of an empty sweep is undefined")
         return sum(entry.saving_percent for entry in self.entries) / len(self.entries)
+
+    @staticmethod
+    def _ratio(values: List[float], metric: str) -> float:
+        """max/min ratio with loud failures.
+
+        An empty sweep and a sweep containing zero-valued entries used to
+        both return ``0.0``, which silently hid failed design points; both
+        now raise, with distinct messages so callers can tell them apart.
+        """
+        if not values:
+            raise ReproError(f"{metric} range of an empty sweep is undefined")
+        if min(values) <= 0:
+            raise ReproError(
+                f"{metric} range is undefined: the sweep contains "
+                f"non-positive {metric} entries (failed design points?)"
+            )
+        return max(values) / min(values)
 
     def area_range(self, flow: str = "slack") -> float:
         """max/min area ratio across design points for one flow."""
         areas = [entry.area_slack if flow == "slack" else entry.area_conventional
                  for entry in self.entries]
-        if not areas or min(areas) <= 0:
-            return 0.0
-        return max(areas) / min(areas)
+        return self._ratio(areas, "area")
 
     def power_range(self, flow: str = "slack") -> float:
         powers = [entry.slack_based.total_power if flow == "slack"
                   else entry.conventional.total_power for entry in self.entries]
-        if not powers or min(powers) <= 0:
-            return 0.0
-        return max(powers) / min(powers)
+        return self._ratio(powers, "power")
 
     def throughput_range(self) -> float:
         values = [entry.slack_based.throughput for entry in self.entries]
-        if not values or min(values) <= 0:
-            return 0.0
-        return max(values) / min(values)
+        return self._ratio(values, "throughput")
 
     def wins(self) -> int:
         """Number of design points where the slack-based flow is smaller."""
@@ -123,6 +166,34 @@ def idct_design_points(clock_period: float = 1500.0) -> List[DesignPoint]:
     return points
 
 
+def evaluate_point(
+    design_factory: Callable[[DesignPoint], Design],
+    library: Library,
+    point: DesignPoint,
+    margin_fraction: float = 0.05,
+) -> DSEEntry:
+    """Run both flows on one design point and return its :class:`DSEEntry`.
+
+    The design and its per-point analyses (latency, spans, timed DFG) are
+    computed once and shared by both flows.  This is the single per-point
+    pipeline stage used by the serial :func:`run_dse` harness and by the
+    parallel :class:`repro.flows.engine.DSEEngine` workers, which is what
+    guarantees that serial and parallel sweeps agree bit for bit.
+    """
+    design = design_factory(point)
+    artifacts = PointArtifacts.build(design)
+    conventional = conventional_flow(
+        design, library, clock_period=point.clock_period,
+        pipeline_ii=point.pipeline_ii, artifacts=artifacts,
+    )
+    slack = slack_based_flow(
+        design, library, clock_period=point.clock_period,
+        pipeline_ii=point.pipeline_ii, margin_fraction=margin_fraction,
+        artifacts=artifacts,
+    )
+    return DSEEntry(point=point, conventional=conventional, slack_based=slack)
+
+
 def run_dse(
     design_factory: Callable[[DesignPoint], Design],
     library: Library,
@@ -141,16 +212,9 @@ def run_dse(
     start = time.perf_counter()
     result = DSEResult()
     for point in points:
-        design = design_factory(point)
-        conventional = conventional_flow(
-            design, library, clock_period=point.clock_period,
-            pipeline_ii=point.pipeline_ii,
+        result.entries.append(
+            evaluate_point(design_factory, library, point,
+                           margin_fraction=margin_fraction)
         )
-        slack = slack_based_flow(
-            design, library, clock_period=point.clock_period,
-            pipeline_ii=point.pipeline_ii, margin_fraction=margin_fraction,
-        )
-        result.entries.append(DSEEntry(point=point, conventional=conventional,
-                                       slack_based=slack))
     result.wall_time_seconds = time.perf_counter() - start
     return result

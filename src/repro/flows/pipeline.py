@@ -1,0 +1,105 @@
+"""Shared per-point pipeline stage for the HLS flows.
+
+Both flows need the same per-design pre-analysis — a :class:`LatencyAnalysis`
+of the CFG, the :class:`OperationSpans` and the timed DFG — and both end with
+the same back-end sequence (datapath construction, within-state area
+recovery, state timing, area/power reports).  Before this module existed each
+flow recomputed the analyses from scratch, so a DSE sweep paid for every
+design point twice.  :class:`PointArtifacts` computes them once per design
+point and hands the precomputed artifacts to whichever flows run on the
+point; :func:`finalize_flow` is the shared back end.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.latency import LatencyAnalysis
+from repro.core.opspan import OperationSpans
+from repro.core.timed_dfg import TimedDFG, build_timed_dfg
+from repro.ir.design import Design
+from repro.lib.library import Library
+from repro.rtl.area import area_report
+from repro.rtl.area_recovery import recover_area
+from repro.rtl.datapath import build_datapath
+from repro.rtl.power import power_report
+from repro.rtl.timing import analyze_state_timing
+from repro.flows.result import FlowResult
+from repro.sched.allocation import Allocation
+from repro.sched.schedule import Schedule
+
+
+@dataclass
+class PointArtifacts:
+    """Per-design analyses shared by every flow run on one design point.
+
+    The latency analysis and operation spans are deterministic functions of
+    the design, so computing them once and sharing them across flows is
+    bit-for-bit equivalent to recomputing them inside each flow.  The timed
+    DFG is built lazily because the conventional flow does not need it.
+    """
+
+    design: Design
+    latency: LatencyAnalysis
+    spans: OperationSpans
+    _timed: Optional[TimedDFG] = field(default=None, repr=False)
+
+    @classmethod
+    def build(cls, design: Design) -> "PointArtifacts":
+        latency = LatencyAnalysis(design.cfg)
+        spans = OperationSpans(design, latency=latency)
+        return cls(design=design, latency=latency, spans=spans)
+
+    @property
+    def timed(self) -> TimedDFG:
+        if self._timed is None:
+            self._timed = build_timed_dfg(self.design, spans=self.spans,
+                                          latency=self.latency)
+        return self._timed
+
+
+def finalize_flow(
+    flow: str,
+    design: Design,
+    library: Library,
+    schedule: Schedule,
+    allocation: Allocation,
+    clock_period: float,
+    pipeline_ii: Optional[int],
+    start_time: float,
+    scheduling_seconds: float,
+    details: Dict[str, object],
+    area_recovery: bool = True,
+    register_margin: float = 0.0,
+) -> FlowResult:
+    """The shared flow back end: datapath, recovery, reports, result object."""
+    datapath = build_datapath(design, library, schedule, pipeline_ii=pipeline_ii)
+    if area_recovery:
+        recovery = recover_area(datapath, register_margin=register_margin)
+        datapath.refresh_interconnect()
+        details["area_recovery_downgrades"] = recovery.downgrades
+        details["area_recovery_saved"] = recovery.area_saved
+
+    timing = analyze_state_timing(datapath, register_margin=register_margin)
+    area = area_report(datapath)
+    power = power_report(datapath)
+    runtime = time.perf_counter() - start_time
+
+    return FlowResult(
+        flow=flow,
+        design_name=design.name,
+        clock_period=clock_period,
+        schedule=schedule,
+        datapath=datapath,
+        area=area,
+        power=power,
+        timing=timing,
+        allocation=allocation,
+        runtime_seconds=runtime,
+        scheduling_seconds=scheduling_seconds,
+        latency_steps=schedule.latency_steps(),
+        meets_timing=timing.meets_timing(),
+        details=details,
+    )

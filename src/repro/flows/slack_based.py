@@ -18,12 +18,8 @@ from repro.errors import ReproError
 from repro.ir.design import Design
 from repro.lib.library import Library
 from repro.core.slack_scheduler import SlackScheduler
+from repro.flows.pipeline import PointArtifacts, finalize_flow
 from repro.flows.result import FlowResult
-from repro.rtl.area import area_report
-from repro.rtl.area_recovery import recover_area
-from repro.rtl.datapath import build_datapath
-from repro.rtl.power import power_report
-from repro.rtl.timing import analyze_state_timing
 
 
 def slack_based_flow(
@@ -36,8 +32,14 @@ def slack_based_flow(
     timing_margin: float = 0.0,
     area_recovery: bool = True,
     register_margin: float = 0.0,
+    artifacts: Optional[PointArtifacts] = None,
 ) -> FlowResult:
-    """Run the slack-based flow on ``design`` and return a :class:`FlowResult`."""
+    """Run the slack-based flow on ``design`` and return a :class:`FlowResult`.
+
+    ``artifacts`` supplies precomputed per-point analyses (see
+    :class:`repro.flows.pipeline.PointArtifacts`) so that sweeps running both
+    flows on the same design pay for latency/span/timed-DFG analysis once.
+    """
     clock_period = clock_period or design.clock_period
     if clock_period is None:
         raise ReproError("a clock period is required (argument or design attribute)")
@@ -50,22 +52,11 @@ def slack_based_flow(
         rebudget_every_edge=rebudget_every_edge,
         pipeline_ii=pipeline_ii,
         timing_margin=timing_margin,
+        artifacts=artifacts,
     )
     scheduling_start = time.perf_counter()
     result = scheduler.run()
     scheduling_seconds = time.perf_counter() - scheduling_start
-
-    datapath = build_datapath(design, library, result.schedule,
-                              pipeline_ii=pipeline_ii)
-    recovery = None
-    if area_recovery:
-        recovery = recover_area(datapath, register_margin=register_margin)
-        datapath.refresh_interconnect()
-
-    timing = analyze_state_timing(datapath, register_margin=register_margin)
-    area = area_report(datapath)
-    power = power_report(datapath)
-    runtime = time.perf_counter() - start_time
 
     details: Dict[str, object] = {
         "initial_budget_feasible": result.initial_budget.feasible,
@@ -76,23 +67,17 @@ def slack_based_flow(
         "resources_added": list(result.relaxation.resources_added),
         "grade_upgrades": list(result.relaxation.upgrades),
     }
-    if recovery is not None:
-        details["area_recovery_downgrades"] = recovery.downgrades
-        details["area_recovery_saved"] = recovery.area_saved
-
-    return FlowResult(
+    return finalize_flow(
         flow="slack-based",
-        design_name=design.name,
-        clock_period=clock_period,
+        design=design,
+        library=library,
         schedule=result.schedule,
-        datapath=datapath,
-        area=area,
-        power=power,
-        timing=timing,
         allocation=result.allocation,
-        runtime_seconds=runtime,
+        clock_period=clock_period,
+        pipeline_ii=pipeline_ii,
+        start_time=start_time,
         scheduling_seconds=scheduling_seconds,
-        latency_steps=result.schedule.latency_steps(),
-        meets_timing=timing.meets_timing(),
         details=details,
+        area_recovery=area_recovery,
+        register_margin=register_margin,
     )

@@ -29,11 +29,18 @@ published curves (most of the area is spent buying the last picoseconds).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import LibraryError
 from repro.ir.operations import OpKind
 from repro.lib.resource import ResourceClass, ResourceVariant
+
+#: Memoized characterisation results.  Building a library characterises the
+#: same (kind, width, model) triples again and again across DSE sweeps and
+#: process-pool workers; classes are immutable after construction, so sharing
+#: one instance per key is safe and makes repeated characterisation free.
+_CLASS_CACHE: Dict[Tuple[OpKind, int, "KindModel", int, float, float],
+                   ResourceClass] = {}
 
 
 @dataclass(frozen=True)
@@ -77,6 +84,11 @@ def characterize_class(
     if grades < 1:
         raise LibraryError("a resource class needs at least one grade")
 
+    cache_key = (kind, width, model, grades, energy_factor, leakage_factor)
+    cached = _CLASS_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
+
     d_fast = model.fast_delay(width)
     d_slow = model.slow_delay(width)
     a_fast = model.fast_area(width)
@@ -103,7 +115,9 @@ def characterize_class(
                 leakage=round(leakage_factor * max(area, 1.0), 5),
             )
         )
-    return ResourceClass(kind, width, variants)
+    resource_class = ResourceClass(kind, width, variants)
+    _CLASS_CACHE[cache_key] = resource_class
+    return resource_class
 
 
 def default_kind_models() -> Dict[OpKind, KindModel]:

@@ -69,6 +69,14 @@ class Library:
         self.name = name
         self.technology = technology or TechnologyParameters()
         self._classes: Dict[Tuple[OpKind, int], ResourceClass] = {}
+        # Memoized lookups.  Scheduling and budgeting ask the same
+        # (kind, width) questions thousands of times per design point, and a
+        # DSE sweep multiplies that by the number of points; these caches make
+        # repeated characterisation lookups O(1).  They are plain dicts so a
+        # Library pickles cleanly into process-pool workers.
+        self._widths_cache: Dict[OpKind, List[int]] = {}
+        self._class_cache: Dict[Tuple[OpKind, int], ResourceClass] = {}
+        self._delay_range_cache: Dict[Tuple[OpKind, int], Tuple[float, float]] = {}
 
     # -- construction -----------------------------------------------------------
 
@@ -79,6 +87,12 @@ class Library:
                 f"library already has a class for {key[0].value}/{key[1]}"
             )
         self._classes[key] = resource_class
+        self._invalidate_caches()
+
+    def _invalidate_caches(self) -> None:
+        self._widths_cache.clear()
+        self._class_cache.clear()
+        self._delay_range_cache.clear()
 
     # -- queries ------------------------------------------------------------------
 
@@ -90,7 +104,11 @@ class Library:
         return sorted({kind for kind, _ in self._classes}, key=lambda k: k.value)
 
     def widths_for_kind(self, kind: OpKind) -> List[int]:
-        return sorted(width for k, width in self._classes if k is kind)
+        cached = self._widths_cache.get(kind)
+        if cached is None:
+            cached = sorted(width for k, width in self._classes if k is kind)
+            self._widths_cache[kind] = cached
+        return list(cached)
 
     def has_kind(self, kind: OpKind) -> bool:
         return any(k is kind for k, _ in self._classes)
@@ -103,13 +121,23 @@ class Library:
         class is returned (a conservative under-estimate of delay/area is
         preferable to a hard failure on exotic widths).
         """
-        widths = self.widths_for_kind(kind)
+        cached = self._class_cache.get((kind, width))
+        if cached is not None:
+            return cached
+        widths = self._widths_cache.get(kind)
+        if widths is None:
+            widths = sorted(w for k, w in self._classes if k is kind)
+            self._widths_cache[kind] = widths
         if not widths:
             raise LibraryError(f"library has no resource for kind {kind.value!r}")
+        resolved = widths[-1]
         for candidate in widths:
             if candidate >= width:
-                return self._classes[(kind, candidate)]
-        return self._classes[(kind, widths[-1])]
+                resolved = candidate
+                break
+        resource_class = self._classes[(kind, resolved)]
+        self._class_cache[(kind, width)] = resource_class
+        return resource_class
 
     def class_for_op(self, op: Operation) -> ResourceClass:
         """The resource class implementing DFG operation ``op``."""
@@ -145,8 +173,13 @@ class Library:
             return (0.0, 0.0)
         if op.is_io:
             return (self.technology.io_delay, self.technology.io_delay)
-        resource_class = self.class_for_op(op)
-        return (resource_class.min_delay, resource_class.max_delay)
+        key = (op.kind, op.max_operand_width)
+        cached = self._delay_range_cache.get(key)
+        if cached is None:
+            resource_class = self.class_for_op(op)
+            cached = (resource_class.min_delay, resource_class.max_delay)
+            self._delay_range_cache[key] = cached
+        return cached
 
     # -- variant selection ----------------------------------------------------------
 

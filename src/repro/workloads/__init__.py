@@ -26,6 +26,11 @@ from repro.workloads.kernels import (
     sobel_design,
 )
 from repro.workloads.generator import random_layered_design
+from repro.workloads.factories import (
+    IDCTPointFactory,
+    KernelPointFactory,
+    RandomPointFactory,
+)
 
 __all__ = [
     "interpolation_design",
@@ -39,4 +44,7 @@ __all__ = [
     "fft_stage_design",
     "sobel_design",
     "random_layered_design",
+    "IDCTPointFactory",
+    "KernelPointFactory",
+    "RandomPointFactory",
 ]

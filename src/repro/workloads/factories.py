@@ -1,0 +1,95 @@
+"""Picklable design factories for DSE sweeps.
+
+The serial :func:`repro.flows.dse.run_dse` harness happily accepts a lambda
+as its ``design_factory``, but the parallel :class:`repro.flows.engine.DSEEngine`
+ships the factory to ``concurrent.futures`` process-pool workers, and lambdas
+and closures do not pickle.  These small frozen dataclasses are the picklable
+equivalents: each one captures the workload parameters as fields and maps a
+design point to a design in ``__call__``.
+
+A factory receives the design point and reads ``point.latency``,
+``point.clock_period`` and (where the workload supports it)
+``point.pipeline_ii``, so one factory instance serves a whole sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.ir.design import Design
+from repro.workloads.idct import idct_design
+from repro.workloads.generator import random_layered_design
+from repro.workloads.kernels import (
+    dct_butterfly_design,
+    fft_stage_design,
+    fir_design,
+    matmul_design,
+    sobel_design,
+)
+
+#: Kernel builders addressable by name (kept at module level so factories
+#: pickle by reference, not by value).
+KERNEL_BUILDERS: Dict[str, Callable[..., Design]] = {
+    "fir": fir_design,
+    "matmul": matmul_design,
+    "dct_butterfly": dct_butterfly_design,
+    "fft_stage": fft_stage_design,
+    "sobel": sobel_design,
+}
+
+
+@dataclass(frozen=True)
+class IDCTPointFactory:
+    """Builds the paper's IDCT design for a Table 4 design point."""
+
+    rows: int = 2
+    width: int = 16
+
+    def __call__(self, point) -> Design:
+        return idct_design(latency=point.latency, rows=self.rows,
+                           width=self.width,
+                           clock_period=point.clock_period,
+                           pipeline_ii=point.pipeline_ii)
+
+
+@dataclass(frozen=True)
+class KernelPointFactory:
+    """Builds one of the named public-style kernels for a design point.
+
+    ``params`` holds extra keyword arguments of the kernel builder (for
+    example ``(("taps", 12),)`` for a 12-tap FIR) as a tuple of pairs so the
+    factory stays hashable and picklable.
+    """
+
+    kernel: str
+    width: int = 16
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self):
+        if self.kernel not in KERNEL_BUILDERS:
+            raise ValueError(
+                f"unknown kernel {self.kernel!r}; "
+                f"expected one of {sorted(KERNEL_BUILDERS)}"
+            )
+
+    def __call__(self, point) -> Design:
+        builder = KERNEL_BUILDERS[self.kernel]
+        return builder(latency=point.latency, width=self.width,
+                       clock_period=point.clock_period, **dict(self.params))
+
+
+@dataclass(frozen=True)
+class RandomPointFactory:
+    """Builds a seeded random layered design for a design point."""
+
+    seed: int = 0
+    layers: int = 4
+    ops_per_layer: int = 6
+    width: int = 16
+
+    def __call__(self, point) -> Design:
+        return random_layered_design(seed=self.seed, layers=self.layers,
+                                     ops_per_layer=self.ops_per_layer,
+                                     latency=point.latency, width=self.width,
+                                     clock_period=point.clock_period)
