@@ -13,6 +13,9 @@ Reproduction targets (shape, not absolute values):
 * the sweep spans a wide power range and a multi-x throughput range.
 """
 
+import json
+import os
+
 import pytest
 
 from conftest import idct_rows
@@ -26,6 +29,13 @@ from repro.flows import (
 from repro.workloads import IDCTPointFactory
 
 CLOCK = 1500.0
+
+#: Committed per-point metrics of the rows=2 sweep (both flows).  The flows
+#: must stay bit-for-bit reproducible: any drift in areas, powers, savings or
+#: schedules fails the golden test below.  Regenerate deliberately with
+#: ``REPRO_UPDATE_GOLDEN=1`` after an intended behaviour change.
+GOLDEN_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "golden_table4_metrics.json")
 
 
 @pytest.fixture(scope="module")
@@ -109,6 +119,48 @@ def test_parallel_engine_matches_serial_and_records_wall_time(
     ))
     benchmark.pedantic(lambda: engine_result.wall_time_seconds,
                        rounds=1, iterations=1)
+
+
+def test_flow_outputs_match_golden_and_record_recovery_time(benchmark,
+                                                            dse_result):
+    """Drift guard + area-recovery trend line for the CI smoke job.
+
+    Every ``DSEEntry.metrics()`` dict of the sweep must equal the committed
+    golden JSON byte for byte (the flows are deterministic; the incremental
+    timing/cache subsystem must not change a single output).  The summed
+    area-recovery wall time of all 30 flow runs is recorded in the benchmark
+    JSON artifact so CI can track the incremental pass over time.
+    """
+    if idct_rows() != 2:
+        pytest.skip("golden metrics are recorded for the default "
+                    "REPRO_IDCT_ROWS=2 sweep")
+    metrics = json.loads(json.dumps(
+        [entry.metrics() for entry in dse_result.entries]))
+    if os.environ.get("REPRO_UPDATE_GOLDEN") == "1":
+        with open(GOLDEN_PATH, "w", encoding="utf-8") as handle:
+            json.dump(metrics, handle, indent=1, sort_keys=True)
+        pytest.skip(f"golden metrics regenerated at {GOLDEN_PATH}")
+    with open(GOLDEN_PATH, "r", encoding="utf-8") as handle:
+        golden = json.load(handle)
+    assert metrics == golden, (
+        "flow outputs drifted from the committed golden metrics; if the "
+        "change is intended, regenerate with REPRO_UPDATE_GOLDEN=1"
+    )
+
+    recovery_seconds = sum(
+        result.details.get("area_recovery_seconds", 0.0)
+        for entry in dse_result.entries
+        for result in (entry.conventional, entry.slack_based)
+    )
+    benchmark.extra_info["area_recovery_wall_s"] = round(recovery_seconds, 4)
+    print()
+    print(format_table(
+        ["metric", "value"],
+        [["area-recovery wall time (30 flow runs)", f"{recovery_seconds:.3f} s"],
+         ["golden drift", "none"]],
+        title="Area-recovery timing + golden flow-output guard",
+    ))
+    benchmark.pedantic(lambda: recovery_seconds, rounds=1, iterations=1)
 
 
 def test_pipelining_increases_area_and_throughput(benchmark, dse_result):

@@ -15,6 +15,9 @@
 * :mod:`repro.core.feasibility` — Proposition 1 feasibility checks.
 * :mod:`repro.core.slack_scheduler` — the enhanced scheduling framework of
   Figure 8 (slack-guided scheduling with re-budgeting after every edge).
+* :mod:`repro.core.analysis_cache` — keyed, bounded caches for the pure
+  per-design analyses (point artifacts, pinned spans/timed DFGs,
+  sequential-slack results) shared by the flows and the DSE engine.
 """
 
 from repro.core.latency import LatencyAnalysis
@@ -26,6 +29,7 @@ from repro.core.sequential_slack import (
     compute_arrival_times,
     compute_required_times,
 )
+from repro.core.analysis_cache import AnalysisCache, default_cache, design_fingerprint
 from repro.core.bellman_ford import compute_sequential_slack_bellman_ford
 from repro.core.budgeting import BudgetingResult, budget_slack
 from repro.core.feasibility import FeasibilityReport, check_feasibility, schedule_from_arrival_times
@@ -54,6 +58,9 @@ __all__ = [
     "compute_arrival_times",
     "compute_required_times",
     "compute_sequential_slack_bellman_ford",
+    "AnalysisCache",
+    "default_cache",
+    "design_fingerprint",
     "BudgetingResult",
     "budget_slack",
     "FeasibilityReport",

@@ -72,8 +72,14 @@ def compute_sequential_slack_bellman_ford(
     if not converged:
         # One extra verification sweep: any further improvement means a cycle.
         for edge in edges:
+            src_value = arrival[edge.src]
+            if src_value == -float("inf"):
+                # Same guard as the relaxation loop: a still-unreached source
+                # can never improve its destination, and feeding -inf into
+                # aligned_start() would overflow the cycle computation.
+                continue
             src_delay = float(delays.get(edge.src, 0.0))
-            start = arrival[edge.src]
+            start = src_value
             if aligned:
                 start = aligned_start(start, src_delay, clock_period)
             if start + src_delay - clock_period * edge.weight > arrival[edge.dst] + 1e-6:

@@ -34,7 +34,7 @@ from repro.lib.library import Library
 from repro.lib.resource import ResourceVariant
 from repro.core.latency import LatencyAnalysis
 from repro.core.opspan import OperationSpans
-from repro.core.sequential_slack import TimingResult, compute_sequential_slack
+from repro.core.sequential_slack import TimingResult
 from repro.core.timed_dfg import TimedDFG, build_timed_dfg
 
 _EPS = 1e-6
@@ -141,6 +141,7 @@ def budget_slack(
     pinned_variants: Optional[Mapping[str, ResourceVariant]] = None,
     start_from: str = "slowest",
     max_iterations: Optional[int] = None,
+    cache=None,
 ) -> BudgetingResult:
     """Run the slack-budgeting algorithm of Fig. 7 on ``design``.
 
@@ -164,9 +165,18 @@ def budget_slack(
         operations without a warm start.
     max_iterations:
         Safety bound; defaults to ``20 * num_ops * max_grades``.
+    cache:
+        Optional :class:`repro.core.analysis_cache.AnalysisCache` used to
+        memoize the sequential-slack recomputations (default: the
+        process-wide cache).  Delay maps recur across re-budgeting passes,
+        and the shared cache turns those repeats into lookups.
     """
     if clock_period <= 0:
         raise TimingError("clock period must be positive")
+    if cache is None:
+        from repro.core.analysis_cache import default_cache
+
+        cache = default_cache()
     latency = latency or LatencyAnalysis(design.cfg)
     spans = spans or OperationSpans(design, latency=latency)
     timed = timed or build_timed_dfg(design, spans=spans, latency=latency)
@@ -182,8 +192,8 @@ def budget_slack(
     downgrades = 0
 
     def recompute() -> TimingResult:
-        return compute_sequential_slack(timed, state.delays, clock_period,
-                                        aligned=aligned)
+        return cache.sequential_slack(timed, state.delays, clock_period,
+                                      aligned=aligned)
 
     timing = recompute()
 

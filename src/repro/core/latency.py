@@ -27,7 +27,15 @@ _INF = float("inf")
 
 
 class LatencyAnalysis:
-    """Pre-computed latency, reachability and dominance queries on a CFG."""
+    """Pre-computed latency, reachability and dominance queries on a CFG.
+
+    Every query is a pure function of the CFG, so results are memoized
+    per-pair the first time they are asked for.  One ``LatencyAnalysis`` is
+    shared by every scheduling/budgeting pass run on a design (via
+    :class:`repro.flows.pipeline.PointArtifacts` and the opSpan machinery),
+    which makes these small per-pair tables the backing store of millions of
+    ``latency``/``control_compatible`` calls per flow run.
+    """
 
     def __init__(self, cfg: CFG):
         self.cfg = cfg
@@ -44,6 +52,10 @@ class LatencyAnalysis:
         self._node_latency: Dict[str, Dict[str, float]] = {}
         self._edge_dominators: Optional[Dict[str, Set[str]]] = None
         self._edge_postdominators: Optional[Dict[str, Set[str]]] = None
+        # Memo tables for the hot pure queries (pair -> result).
+        self._latency_memo: Dict[Tuple[str, str], Optional[int]] = {}
+        self._compatible_memo: Dict[Tuple[str, str], bool] = {}
+        self._ordered_forward_edges: Optional[List[str]] = None
 
     # -- node-level helpers ------------------------------------------------------
 
@@ -82,13 +94,18 @@ class LatencyAnalysis:
         """Latency between edges ``edge_a`` and ``edge_b`` (None if undefined)."""
         if edge_a == edge_b:
             return 0
+        key = (edge_a, edge_b)
+        try:
+            return self._latency_memo[key]
+        except KeyError:
+            pass
         a = self.cfg.edge(edge_a)
         b = self.cfg.edge(edge_b)
         dist = self._node_latencies_from(a.dst)
         value = dist.get(b.src, _INF)
-        if value == _INF:
-            return None
-        return int(value)
+        result = None if value == _INF else int(value)
+        self._latency_memo[key] = result
+        return result
 
     def reachable(self, edge_a: str, edge_b: str) -> bool:
         """True if ``edge_b`` is forward reachable from ``edge_a`` (non-strict)."""
@@ -181,12 +198,27 @@ class LatencyAnalysis:
         """
         if edge == birth_edge:
             return True
-        return self.dominates(edge, birth_edge) or self.postdominates(edge, birth_edge)
+        key = (edge, birth_edge)
+        try:
+            return self._compatible_memo[key]
+        except KeyError:
+            pass
+        result = (self.dominates(edge, birth_edge)
+                  or self.postdominates(edge, birth_edge))
+        self._compatible_memo[key] = result
+        return result
+
+    def _forward_edges_ordered(self) -> List[str]:
+        """The shared (do not mutate) topologically ordered forward-edge list."""
+        if self._ordered_forward_edges is None:
+            self._ordered_forward_edges = sorted(
+                self._forward_edges, key=self._edge_pos.__getitem__)
+        return self._ordered_forward_edges
 
     @property
     def forward_edge_names(self) -> List[str]:
         """Forward edges in topological order."""
-        return sorted(self._forward_edges, key=self._edge_pos.__getitem__)
+        return list(self._forward_edges_ordered())
 
     def first_edge(self) -> str:
         """The first forward edge in topological order."""

@@ -35,7 +35,7 @@ verbatim (see ``tests/test_table3_closed_forms.py``).  Early edges —
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import TimingError
 from repro.ir.design import Design
@@ -102,14 +102,25 @@ class OperationSpans:
             self.latency.edge_order(not_before) if not_before is not None else None
         )
         self._spans: Dict[str, SpanInfo] = {}
+        self._candidate_memo: Dict[Tuple[str, bool], List[str]] = {}
         self._compute()
 
     # -- computation -------------------------------------------------------------
 
     def _candidate_edges(self, birth_edge: str, respect_floor: bool) -> List[str]:
-        """Control-compatible edges for an op born on ``birth_edge``."""
+        """Control-compatible edges for an op born on ``birth_edge``.
+
+        Pure in ``(birth_edge, respect_floor)`` for a fixed design, so the
+        result is memoized — operations share birth edges heavily and the
+        three passes of :meth:`_compute` each ask once per operation.  The
+        cached lists are shared; callers must not mutate them.
+        """
+        key = (birth_edge, respect_floor)
+        cached = self._candidate_memo.get(key)
+        if cached is not None:
+            return cached
         edges = [
-            edge for edge in self.latency.forward_edge_names
+            edge for edge in self.latency._forward_edges_ordered()
             if self.latency.control_compatible(edge, birth_edge)
         ]
         if respect_floor and self._not_before_pos is not None:
@@ -117,6 +128,7 @@ class OperationSpans:
                 edge for edge in edges
                 if self.latency.edge_order(edge) >= self._not_before_pos
             ]
+        self._candidate_memo[key] = edges
         return edges
 
     def _data_predecessors(self, op: Operation) -> List[Operation]:

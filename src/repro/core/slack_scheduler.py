@@ -18,19 +18,16 @@ same "expert system" used by the conventional flow.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 from repro.errors import InfeasibleDesignError, TimingError
 from repro.ir.design import Design
 from repro.lib.library import Library
 from repro.lib.resource import ResourceVariant
 from repro.ir.operations import OpKind
+from repro.core.analysis_cache import AnalysisCache, default_cache
 from repro.core.budgeting import BudgetingResult, budget_slack
-from repro.core.latency import LatencyAnalysis
-from repro.core.opspan import OperationSpans
-from repro.core.sequential_slack import compute_sequential_slack
-from repro.core.timed_dfg import build_timed_dfg
 from repro.sched.allocation import Allocation, minimal_allocation
 from repro.sched.list_scheduler import SchedulingAttempt, try_list_schedule
 from repro.sched.priorities import combined_priority
@@ -74,6 +71,12 @@ class SlackScheduler:
         latency analysis, operation spans and timed DFG are reused instead
         of being rebuilt, which matters for DSE sweeps that run several
         flows on the same design.
+    cache:
+        The :class:`repro.core.analysis_cache.AnalysisCache` backing the
+        per-edge span/timed-DFG rebuilds and the sequential-slack calls
+        (default: the process-wide cache).  The relaxation loop replays the
+        same schedule prefixes attempt after attempt, so on
+        relaxation-heavy design points most rebuilds are cache hits.
     """
 
     def __init__(
@@ -87,6 +90,7 @@ class SlackScheduler:
         timing_margin: float = 0.0,
         max_relaxations: int = 200,
         artifacts=None,
+        cache: Optional[AnalysisCache] = None,
     ):
         self.design = design
         self.library = library
@@ -96,16 +100,13 @@ class SlackScheduler:
         self.pipeline_ii = pipeline_ii if pipeline_ii is not None else design.pipeline_ii
         self.timing_margin = timing_margin
         self.max_relaxations = max_relaxations
+        self._cache = cache if cache is not None else default_cache()
 
-        if artifacts is not None:
-            self._latency = artifacts.latency
-            self._spans = artifacts.spans
-            self._timed = artifacts.timed
-        else:
-            self._latency = LatencyAnalysis(design.cfg)
-            self._spans = OperationSpans(design, latency=self._latency)
-            self._timed = build_timed_dfg(design, spans=self._spans,
-                                          latency=self._latency)
+        if artifacts is None:
+            artifacts = self._cache.artifacts(design)
+        self._latency = artifacts.latency
+        self._spans = artifacts.spans
+        self._timed = artifacts.timed
         self._rebudget_count = 0
         # Grades forced by the relaxation loop; re-budgeting must not undo them.
         self._locked: Dict[str, ResourceVariant] = {}
@@ -117,7 +118,8 @@ class SlackScheduler:
         initial_budget = budget_slack(
             self.design, self.library, self.clock_period,
             margin_fraction=self.margin_fraction,
-            spans=self._spans, latency=self._latency,
+            spans=self._spans, latency=self._latency, timed=self._timed,
+            cache=self._cache,
         )
         variants: Dict[str, Optional[ResourceVariant]] = dict(initial_budget.variants)
         allocation = minimal_allocation(self.design, self.library, spans=self._spans,
@@ -205,8 +207,9 @@ class SlackScheduler:
             op.name: self.library.operation_delay(op, working.get(op.name))
             for op in self.design.dfg.operations if op.kind is not OpKind.CONST
         }
-        pass_timing = compute_sequential_slack(self._timed, delays,
-                                               self.clock_period, aligned=True)
+        pass_timing = self._cache.sequential_slack(self._timed, delays,
+                                                   self.clock_period,
+                                                   aligned=True)
         priority = combined_priority(pass_timing, self._spans)
         edge_order = self._latency.forward_edge_names
 
@@ -222,10 +225,8 @@ class SlackScheduler:
             for name, variant in self._locked.items():
                 pinned_variants.setdefault(name, variant)
             try:
-                new_spans = OperationSpans(self.design, latency=self._latency,
-                                           pinned=pinned_edges, not_before=next_edge)
-                timed = build_timed_dfg(self.design, spans=new_spans,
-                                        latency=self._latency)
+                new_spans, timed = self._cache.pinned_spans_and_timed(
+                    self.design, self._latency, pinned_edges, next_edge)
                 rebudget = budget_slack(
                     self.design, self.library, self.clock_period,
                     margin_fraction=self.margin_fraction,
@@ -233,6 +234,7 @@ class SlackScheduler:
                     initial_variants={k: v for k, v in working.items()
                                       if v is not None and k in pending},
                     pinned_variants=pinned_variants,
+                    cache=self._cache,
                 )
             except TimingError:
                 # A pending operation has no legal edge left; let the main

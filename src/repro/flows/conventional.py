@@ -52,7 +52,7 @@ def conventional_flow(
 
     start_time = time.perf_counter()
     if artifacts is None:
-        artifacts = PointArtifacts.build(design)
+        artifacts = PointArtifacts.of(design)
     latency = artifacts.latency
     spans = artifacts.spans
 

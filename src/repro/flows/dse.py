@@ -179,9 +179,14 @@ def evaluate_point(
     pipeline stage used by the serial :func:`run_dse` harness and by the
     parallel :class:`repro.flows.engine.DSEEngine` workers, which is what
     guarantees that serial and parallel sweeps agree bit for bit.
+
+    Artifacts resolve through the process-wide analysis cache
+    (:meth:`PointArtifacts.of`), so sweep points that rebuild a structurally
+    identical design — the same latency at a different clock period or
+    initiation interval — share one bundle per process.
     """
     design = design_factory(point)
-    artifacts = PointArtifacts.build(design)
+    artifacts = PointArtifacts.of(design)
     conventional = conventional_flow(
         design, library, clock_period=point.clock_period,
         pipeline_ii=point.pipeline_ii, artifacts=artifacts,

@@ -28,6 +28,7 @@ layered designs at several sizes.
 
 from __future__ import annotations
 
+import functools
 import json
 import os
 import pickle
@@ -207,13 +208,27 @@ class DSEEngine:
         Dataclass factories (the picklable ones in
         :mod:`repro.workloads.factories`) fingerprint as their full repr, so a
         checkpoint from ``IDCTPointFactory(rows=1)`` is not restored into a
-        ``rows=8`` sweep.  Plain functions and lambdas fingerprint as
-        ``module.qualname`` (their repr embeds a memory address that changes
-        every run, which would break resume); that is deliberately coarse —
-        two different lambdas with the same qualname are indistinguishable.
+        ``rows=8`` sweep.  ``functools.partial`` objects fingerprint as their
+        wrapped callable plus the bound arguments — previously they fell
+        through to the bare class qualname (``functools.partial``), so two
+        partials over different workloads silently shared a checkpoint
+        signature and a resume could restore the wrong sweep's metrics.
+        Plain functions and lambdas fingerprint as ``module.qualname`` (their
+        repr embeds a memory address that changes every run, which would
+        break resume); that is deliberately coarse — two different lambdas
+        with the same qualname are indistinguishable.
         """
         if is_dataclass(obj) and not isinstance(obj, type):
             return f"{type(obj).__module__}.{repr(obj)}"
+        if isinstance(obj, functools.partial):
+            func = DSEEngine._fingerprint(obj.func)
+            args = ", ".join(DSEEngine._fingerprint(a) if callable(a) else repr(a)
+                             for a in obj.args)
+            kwargs = ", ".join(
+                f"{key}={DSEEngine._fingerprint(value) if callable(value) else repr(value)}"
+                for key, value in sorted(obj.keywords.items())
+            )
+            return f"functools.partial({func}, args=[{args}], kwargs=[{kwargs}])"
         qualname = getattr(obj, "__qualname__", None)
         if qualname is not None:
             return f"{getattr(obj, '__module__', '?')}.{qualname}"

@@ -8,6 +8,32 @@ flow recomputed the analyses from scratch, so a DSE sweep paid for every
 design point twice.  :class:`PointArtifacts` computes them once per design
 point and hands the precomputed artifacts to whichever flows run on the
 point; :func:`finalize_flow` is the shared back end.
+
+Caching and invalidation
+------------------------
+
+:meth:`PointArtifacts.of` memoizes artifact bundles in the process-wide
+:class:`repro.core.analysis_cache.AnalysisCache`, keyed by
+:func:`repro.core.analysis_cache.design_fingerprint`.  The rules that make
+this sound:
+
+* **What the key covers.** The fingerprint hashes the CFG and DFG structure
+  (nodes, edges, operation attributes, insertion order).  Everything inside
+  an artifact bundle is a pure function of that structure.
+* **What the key ignores — deliberately.** The clock period, ``pipeline_ii``
+  and the free-form ``design.attrs`` do not influence latency analysis,
+  opSpans or the timed DFG, so one bundle serves the same design swept over
+  clock periods and initiation intervals (that is the point of the cache).
+* **Invalidation.** There is none by design: cached bundles are never
+  mutated, and a *structurally* changed design produces a new fingerprint
+  and therefore a new bundle.  The corollary is that designs must not be
+  mutated structurally after first use — run the IR transforms
+  (:mod:`repro.ir.transforms`) *before* handing a design to a flow.  Use
+  ``default_cache().clear()`` to drop every bundle (e.g. between unrelated
+  sweeps in a long-lived process).
+* **Mutable state stays out.** Schedules, bindings and datapaths are built
+  per flow run and are never cached here; area recovery mutates instance
+  variants on the per-run datapath only.
 """
 
 from __future__ import annotations
@@ -16,6 +42,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.core.analysis_cache import AnalysisCache, default_cache
 from repro.core.latency import LatencyAnalysis
 from repro.core.opspan import OperationSpans
 from repro.core.timed_dfg import TimedDFG, build_timed_dfg
@@ -39,6 +66,10 @@ class PointArtifacts:
     the design, so computing them once and sharing them across flows is
     bit-for-bit equivalent to recomputing them inside each flow.  The timed
     DFG is built lazily because the conventional flow does not need it.
+
+    Treat a bundle as immutable: it may be shared across flows, design
+    points and engine sweeps via the analysis cache (see the module
+    docstring for the invalidation rules).
     """
 
     design: Design
@@ -48,9 +79,21 @@ class PointArtifacts:
 
     @classmethod
     def build(cls, design: Design) -> "PointArtifacts":
+        """Compute a fresh bundle, bypassing the analysis cache."""
         latency = LatencyAnalysis(design.cfg)
         spans = OperationSpans(design, latency=latency)
         return cls(design=design, latency=latency, spans=spans)
+
+    @classmethod
+    def of(cls, design: Design,
+           cache: Optional[AnalysisCache] = None) -> "PointArtifacts":
+        """The (possibly shared) bundle of ``design`` from the analysis cache.
+
+        Structurally identical designs — e.g. the same kernel rebuilt by a
+        factory for several clock periods — resolve to one bundle.
+        """
+        cache = cache if cache is not None else default_cache()
+        return cache.artifacts(design)
 
     @property
     def timed(self) -> TimedDFG:
@@ -74,10 +117,18 @@ def finalize_flow(
     area_recovery: bool = True,
     register_margin: float = 0.0,
 ) -> FlowResult:
-    """The shared flow back end: datapath, recovery, reports, result object."""
+    """The shared flow back end: datapath, recovery, reports, result object.
+
+    ``details`` gains ``area_recovery_downgrades`` / ``area_recovery_saved``
+    plus ``area_recovery_seconds`` (wall time of the recovery pass, tracked
+    by the benchmark smoke job; wall-clock fields never enter
+    ``DSEEntry.metrics()``).
+    """
     datapath = build_datapath(design, library, schedule, pipeline_ii=pipeline_ii)
     if area_recovery:
+        recovery_start = time.perf_counter()
         recovery = recover_area(datapath, register_margin=register_margin)
+        details["area_recovery_seconds"] = time.perf_counter() - recovery_start
         datapath.refresh_interconnect()
         details["area_recovery_downgrades"] = recovery.downgrades
         details["area_recovery_saved"] = recovery.area_saved

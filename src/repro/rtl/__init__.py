@@ -11,7 +11,12 @@ reports area and power.
 from repro.rtl.datapath import Datapath, build_datapath
 from repro.rtl.area import AreaReport, area_report
 from repro.rtl.timing import StateTimingReport, analyze_state_timing
-from repro.rtl.area_recovery import AreaRecoveryResult, recover_area
+from repro.rtl.incremental_timing import IncrementalStateTiming
+from repro.rtl.area_recovery import (
+    AreaRecoveryResult,
+    recover_area,
+    recover_area_reference,
+)
 from repro.rtl.power import PowerReport, power_report
 from repro.rtl.verilog import emit_verilog
 
@@ -22,8 +27,10 @@ __all__ = [
     "area_report",
     "StateTimingReport",
     "analyze_state_timing",
+    "IncrementalStateTiming",
     "AreaRecoveryResult",
     "recover_area",
+    "recover_area_reference",
     "PowerReport",
     "power_report",
     "emit_verilog",

@@ -10,15 +10,44 @@ limitation the slack-based flow removes (paper Section II).
 The pass is greedy: instances are repeatedly downgraded one speed grade at a
 time, largest area saving first, as long as every state they participate in
 still meets the clock period.
+
+Two implementations of the same greedy policy live here:
+
+* :func:`recover_area` (the default) runs on the incremental timing engine
+  (:class:`repro.rtl.incremental_timing.IncrementalStateTiming`): each trial
+  downgrade recomputes only the states the instance participates in, every
+  *independent* downgrade is accepted within one round (instances are
+  independent when they live in different connected components of the
+  state-sharing graph), and trial failures are memoized — slacks only shrink
+  as delays grow, so a failed (instance, grade) trial can never succeed
+  later.  Complexity drops from O(rounds * instances * states) to roughly
+  O(instances * touched-states).
+* :func:`recover_area_reference` is the original one-accept-per-round loop
+  with a full :func:`analyze_state_timing` per trial.  It is kept as the
+  executable specification: the incremental pass must produce identical
+  downgrades, areas and timing (asserted in the test suite and guarded by
+  the golden-metrics benchmark check).
+
+Why "independent" means *connected components* rather than pairwise-disjoint
+state sets: accepting a downgrade only perturbs slack inside the instance's
+own states, so the greedy process decomposes exactly along the connected
+components of the graph whose vertices are instances and whose edges link
+instances sharing a state.  Accepting the best candidate of *each* component
+per round reorders acceptances only across components, which cannot change
+the outcome.  Accepting two pairwise-disjoint candidates of the *same*
+component, however, can: a third instance overlapping both could have been
+accepted between them by the one-at-a-time reference, changing which of the
+two survives.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.lib.resource import ResourceVariant
 from repro.rtl.datapath import Datapath
+from repro.rtl.incremental_timing import IncrementalStateTiming
 from repro.rtl.timing import StateTimingReport, analyze_state_timing
 
 _EPS = 1e-6
@@ -38,10 +67,140 @@ class AreaRecoveryResult:
         return self.area_before - self.area_after
 
 
+def _downgrade_candidates(
+    datapath: Datapath,
+    timing: StateTimingReport,
+) -> List[Tuple[float, str, ResourceVariant]]:
+    """Profitable, slack-covered one-grade downgrades, best saving first.
+
+    Instances bound to no operations are skipped outright: they appear in no
+    state, so the within-state report carries no timing evidence about them,
+    and a downgrade justified by the former ``min(..., default=0.0)`` slack
+    would rest on nothing.  (Complete bindings never produce such instances;
+    the guard protects hand-built ones.)
+    """
+    library = datapath.library
+    candidates: List[Tuple[float, str, ResourceVariant]] = []
+    for instance in datapath.binding.instances:
+        if not instance.ops:
+            continue
+        resource_class = library.class_for(
+            _kind_from_key(instance.class_key[0]), instance.class_key[1]
+        )
+        slower = resource_class.next_slower(instance.variant)
+        if slower is None:
+            continue
+        saving = instance.variant.area - slower.area
+        if saving <= _EPS:
+            continue
+        delay_increase = slower.delay - instance.variant.delay
+        worst_op_slack = min(
+            timing.op_slack.get(op, 0.0) for op in instance.ops
+        )
+        if delay_increase > worst_op_slack + _EPS:
+            continue
+        candidates.append((saving, instance.name, slower))
+    candidates.sort(key=lambda item: (-item[0], item[1]))
+    return candidates
+
+
+def _instance_components(datapath: Datapath) -> Dict[str, int]:
+    """Connected components of the instance state-sharing graph.
+
+    Two instances are connected when they participate in a common state;
+    downgrades in different components never interact through timing.
+    """
+    parent: Dict[str, str] = {}
+
+    def find(name: str) -> str:
+        root = name
+        while parent[root] != root:
+            root = parent[root]
+        while parent[name] != root:
+            parent[name], name = root, parent[name]
+        return root
+
+    edge_owner: Dict[str, str] = {}
+    for instance in datapath.binding.instances:
+        parent[instance.name] = instance.name
+        for edge in datapath.instance_edges(instance.name):
+            owner = edge_owner.setdefault(edge, instance.name)
+            if owner != instance.name:
+                parent[find(owner)] = find(instance.name)
+
+    labels: Dict[str, int] = {}
+    components: Dict[str, int] = {}
+    for instance in datapath.binding.instances:
+        root = find(instance.name)
+        components[instance.name] = labels.setdefault(root, len(labels))
+    return components
+
+
 def recover_area(datapath: Datapath, register_margin: float = 0.0,
                  max_rounds: int = 1000) -> AreaRecoveryResult:
-    """Downsize bound instances using within-state slack only (in place)."""
-    library = datapath.library
+    """Downsize bound instances using within-state slack only (in place).
+
+    Incremental implementation: see the module docstring for the policy and
+    the equivalence argument against :func:`recover_area_reference`.
+    ``max_rounds`` bounds the number of candidate sweeps; unlike the
+    reference (which accepts at most one downgrade per round) a single round
+    here may accept one downgrade per independent instance group, so the
+    bound is looser for the same workload.
+    """
+    area_before = datapath.binding.total_fu_area()
+    downgrades = 0
+    changed: List[str] = []
+
+    analyzer = IncrementalStateTiming(datapath, register_margin=register_margin)
+    if analyzer.report.meets_timing():
+        components = _instance_components(datapath)
+        failed_trials: Set[Tuple[str, str]] = set()
+        for _ in range(max_rounds):
+            candidates = _downgrade_candidates(datapath, analyzer.report)
+            touched: Set[int] = set()
+            accepted_any = False
+            for saving, instance_name, slower in candidates:
+                component = components[instance_name]
+                if component in touched:
+                    continue  # interacts with an acceptance of this round
+                if (instance_name, slower.name) in failed_trials:
+                    continue  # slack only shrinks; the trial cannot pass now
+                instance = datapath.binding.instance_by_name(instance_name)
+                edges = analyzer.instance_edges(instance_name)
+                saved = analyzer.snapshot(edges)
+                previous = instance.variant
+                instance.variant = slower
+                analyzer.recompute_edges(edges)
+                if analyzer.edges_meet_timing(edges):
+                    downgrades += 1
+                    if instance_name not in changed:
+                        changed.append(instance_name)
+                    touched.add(component)
+                    accepted_any = True
+                else:
+                    instance.variant = previous
+                    analyzer.restore(saved)
+                    failed_trials.add((instance_name, slower.name))
+            if not accepted_any:
+                break
+
+    return AreaRecoveryResult(
+        downgrades=downgrades,
+        area_before=area_before,
+        area_after=datapath.binding.total_fu_area(),
+        changed_instances=changed,
+    )
+
+
+def recover_area_reference(datapath: Datapath, register_margin: float = 0.0,
+                           max_rounds: int = 1000) -> AreaRecoveryResult:
+    """The original full-recompute pass (executable specification).
+
+    Accepts at most one downgrade per round and re-runs a complete
+    :func:`analyze_state_timing` for every round and every trial.  Kept so
+    the equivalence of the incremental pass stays testable; production code
+    should call :func:`recover_area`.
+    """
     area_before = datapath.binding.total_fu_area()
     downgrades = 0
     changed: List[str] = []
@@ -50,28 +209,9 @@ def recover_area(datapath: Datapath, register_margin: float = 0.0,
         timing = analyze_state_timing(datapath, register_margin=register_margin)
         if not timing.meets_timing():
             break  # never make a failing implementation worse
-        candidates: List[Tuple[float, str, ResourceVariant]] = []
-        for instance in datapath.binding.instances:
-            resource_class = library.class_for(
-                _kind_from_key(instance.class_key[0]), instance.class_key[1]
-            )
-            slower = resource_class.next_slower(instance.variant)
-            if slower is None:
-                continue
-            saving = instance.variant.area - slower.area
-            if saving <= _EPS:
-                continue
-            delay_increase = slower.delay - instance.variant.delay
-            worst_op_slack = min(
-                (timing.op_slack.get(op, 0.0) for op in instance.ops),
-                default=0.0,
-            )
-            if delay_increase > worst_op_slack + _EPS:
-                continue
-            candidates.append((saving, instance.name, slower))
+        candidates = _downgrade_candidates(datapath, timing)
         if not candidates:
             break
-        candidates.sort(key=lambda item: (-item[0], item[1]))
         accepted = False
         for saving, instance_name, slower in candidates:
             instance = datapath.binding.instance_by_name(instance_name)

@@ -9,8 +9,9 @@ and power models — and the Verilog emitter — operate on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
+from repro.errors import BindingError
 from repro.ir.design import Design
 from repro.lib.library import Library
 from repro.bind.binding import Binding, bind_operations
@@ -30,6 +31,9 @@ class Datapath:
     registers: RegisterAllocation
     interconnect: InterconnectEstimate
     clock_period: float
+    #: Lazily built instance -> states index (see :meth:`instance_edges`).
+    _instance_edges: Optional[Dict[str, frozenset]] = field(
+        default=None, repr=False, compare=False)
 
     @property
     def num_states(self) -> int:
@@ -43,6 +47,31 @@ class Datapath:
     @property
     def num_registers(self) -> int:
         return self.registers.num_registers()
+
+    def instance_edges(self, instance_name: str) -> frozenset:
+        """The CFG edges (states) a functional-unit instance participates in.
+
+        The index is computed once from the binding and the schedule and then
+        cached: which operations an instance implements and which edges those
+        operations execute on are both fixed after datapath construction.
+        Variant (speed-grade) changes — the only mutation area recovery
+        performs — never move an operation, so they do not invalidate the
+        index.  Instances whose operations are unscheduled (or that carry no
+        operations at all) map to an empty set.
+        """
+        if self._instance_edges is None:
+            index: Dict[str, frozenset] = {}
+            for instance in self.binding.instances:
+                index[instance.name] = frozenset(
+                    self.schedule.edge_of(op) for op in instance.ops
+                    if self.schedule.is_scheduled(op)
+                )
+            self._instance_edges = index
+        try:
+            return self._instance_edges[instance_name]
+        except KeyError:
+            raise BindingError(
+                f"unknown functional-unit instance {instance_name!r}") from None
 
     def refresh_interconnect(self) -> None:
         """Re-estimate the interconnect (after area recovery changed grades)."""

@@ -1,0 +1,142 @@
+"""Incrementally patchable per-state timing analysis.
+
+:func:`repro.rtl.timing.analyze_state_timing` recomputes the combinational
+chains of *every* state.  During area recovery that is wasteful: a trial
+downgrade of one functional-unit instance only changes the delays of the
+operations bound to that instance, and combinational chains never cross a
+state boundary, so only the states the instance participates in can change.
+:class:`IncrementalStateTiming` exploits that: it holds a cached
+:class:`~repro.rtl.timing.StateTimingReport` and, when one instance changes
+variant, re-runs the shared per-state kernel
+(:func:`repro.rtl.timing.recompute_state`) over exactly those states —
+looked up via the :meth:`repro.rtl.datapath.Datapath.instance_edges` index —
+and splices the fresh values into the report.
+
+Because the full analysis and the patch path execute the same kernel (same
+float operations, same order) over per-state op lists that are disjoint
+between states, a patched report is *bit-for-bit equal* to a full recompute
+— asserted against :func:`analyze_state_timing` in the test suite.
+
+Trial changes are supported cheaply: :meth:`snapshot` captures the report
+rows of a set of states before a patch and :meth:`restore` splices them back
+when the trial is rejected, avoiding a second recompute on the revert path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+from repro.errors import TimingError
+from repro.rtl.datapath import Datapath
+from repro.rtl.timing import (
+    StateTimingReport,
+    analyze_state_timing,
+    recompute_state,
+    scheduled_ops_by_edge,
+    usable_clock_period,
+)
+
+_EPS = 1e-6
+
+#: The cached rows of one state: (op_start, op_finish, op_slack, critical).
+StateSnapshot = Tuple[Dict[str, float], Dict[str, float], Dict[str, float], float]
+
+
+class IncrementalStateTiming:
+    """A state-timing report that can be patched per FU-instance change.
+
+    Parameters
+    ----------
+    datapath:
+        The datapath to analyse.  The schedule and the binding structure
+        (which operations live on which instance) must not change for the
+        lifetime of this object; instance *variants* may change freely as
+        long as every change is reported via :meth:`patch_instance` (or the
+        affected edges are re-synced via :meth:`recompute_edges`).
+    register_margin:
+        Same meaning as in :func:`analyze_state_timing`.
+    """
+
+    def __init__(self, datapath: Datapath, register_margin: float = 0.0):
+        self.datapath = datapath
+        self.register_margin = register_margin
+        self._usable_period = usable_clock_period(datapath, register_margin)
+        self._edge_ops: Dict[str, List[str]] = scheduled_ops_by_edge(datapath)
+        self.report: StateTimingReport = analyze_state_timing(
+            datapath, register_margin=register_margin)
+
+    # -- patching ----------------------------------------------------------------
+
+    def _ops_of(self, edge: str) -> List[str]:
+        try:
+            return self._edge_ops[edge]
+        except KeyError:
+            raise TimingError(
+                f"no scheduled operations on CFG edge {edge!r}") from None
+
+    def instance_edges(self, instance_name: str) -> FrozenSet[str]:
+        """The states a variant change of ``instance_name`` can affect."""
+        return self.datapath.instance_edges(instance_name)
+
+    def recompute_edges(self, edges: Iterable[str]) -> None:
+        """Re-run the per-state kernel over ``edges`` and patch the report."""
+        report = self.report
+        for edge in edges:
+            starts, finishes, slacks, critical = recompute_state(
+                self.datapath, self._ops_of(edge), self._usable_period)
+            report.op_start.update(starts)
+            report.op_finish.update(finishes)
+            report.op_slack.update(slacks)
+            report.state_critical_path[edge] = critical
+
+    def patch_instance(self, instance_name: str) -> FrozenSet[str]:
+        """Resync the report after ``instance_name`` changed variant.
+
+        Returns the set of edges that were recomputed.
+        """
+        edges = self.instance_edges(instance_name)
+        self.recompute_edges(edges)
+        return edges
+
+    # -- trial support ------------------------------------------------------------
+
+    def snapshot(self, edges: Iterable[str]) -> Dict[str, StateSnapshot]:
+        """Capture the report rows of ``edges`` so a trial can be reverted.
+
+        Unknown edges raise :class:`TimingError`, exactly like
+        :meth:`recompute_edges` — a silently empty snapshot would let a later
+        :meth:`restore` splice spurious rows into the report.
+        """
+        report = self.report
+        saved: Dict[str, StateSnapshot] = {}
+        for edge in edges:
+            edge_ops = self._ops_of(edge)
+            saved[edge] = (
+                {op: report.op_start[op] for op in edge_ops},
+                {op: report.op_finish[op] for op in edge_ops},
+                {op: report.op_slack[op] for op in edge_ops},
+                report.state_critical_path[edge],
+            )
+        return saved
+
+    def restore(self, saved: Dict[str, StateSnapshot]) -> None:
+        """Splice rows captured by :meth:`snapshot` back into the report."""
+        report = self.report
+        for edge, (starts, finishes, slacks, critical) in saved.items():
+            report.op_start.update(starts)
+            report.op_finish.update(finishes)
+            report.op_slack.update(slacks)
+            report.state_critical_path[edge] = critical
+
+    # -- queries -------------------------------------------------------------------
+
+    def edges_meet_timing(self, edges: Iterable[str], margin: float = 0.0) -> bool:
+        """True when every state in ``edges`` fits the clock period.
+
+        When the report met timing globally before a patch confined to
+        ``edges``, this is equivalent to (and much cheaper than) a global
+        :meth:`StateTimingReport.meets_timing` check.
+        """
+        limit = self.report.clock_period + abs(margin) + _EPS
+        critical = self.report.state_critical_path
+        return all(critical.get(edge, 0.0) <= limit for edge in edges)

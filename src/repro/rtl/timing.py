@@ -8,12 +8,22 @@ recomputes the combinational chains inside every control step and reports
 * per-state critical path length and slack against the clock period, and
 * per-operation within-state slack (the only slack the conventional RTL-style
   area recovery is allowed to use).
+
+The combinational chains of one state never cross into another state (the
+forward pass only follows same-edge predecessors, the backward pass only
+same-edge successors), so the analysis decomposes exactly per state.
+:func:`recompute_state` is that per-state kernel; :func:`analyze_state_timing`
+runs it over every state, and
+:class:`repro.rtl.incremental_timing.IncrementalStateTiming` re-runs it over
+only the states an FU-instance variant change touches and splices the results
+into a cached report.  Both paths execute the same float operations in the
+same order, so a patched report is bit-for-bit equal to a full recompute.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from repro.errors import TimingError
 from repro.ir.operations import OpKind
@@ -64,6 +74,82 @@ def _effective_delay(datapath: Datapath, op_name: str) -> float:
     return instance.variant.delay + mux_delay
 
 
+def scheduled_ops_by_edge(datapath: Datapath) -> Dict[str, List[str]]:
+    """Scheduled operations grouped per CFG edge, in DFG topological order.
+
+    This is the decomposition the per-state kernel operates on; edges appear
+    in order of their first scheduled operation in the global topological
+    order, and the per-edge lists preserve that order, so iterating the
+    groups replays exactly the visit order of a single global pass.
+    """
+    schedule = datapath.schedule
+    groups: Dict[str, List[str]] = {}
+    for name in datapath.design.dfg.topological_order():
+        if not schedule.is_scheduled(name):
+            continue
+        groups.setdefault(schedule.edge_of(name), []).append(name)
+    return groups
+
+
+def recompute_state(
+    datapath: Datapath,
+    edge_ops: List[str],
+    usable_period: float,
+) -> Tuple[Dict[str, float], Dict[str, float], Dict[str, float], float]:
+    """Recompute the combinational chains of one state.
+
+    ``edge_ops`` must be the scheduled operations of a single CFG edge in DFG
+    topological order (see :func:`scheduled_ops_by_edge`); ``usable_period``
+    is the clock period minus the register margin.  Returns
+    ``(op_start, op_finish, op_slack, critical_path)`` for exactly those
+    operations.  Chains never leave a state, so the result is independent of
+    every other state — the property the incremental patching relies on.
+    """
+    design = datapath.design
+    schedule = datapath.schedule
+    dfg = design.dfg
+
+    op_start: Dict[str, float] = {}
+    op_finish: Dict[str, float] = {}
+    critical = 0.0
+    edge_name = schedule.edge_of(edge_ops[0]) if edge_ops else None
+
+    for name in edge_ops:
+        delay = _effective_delay(datapath, name)
+        start = 0.0
+        for pred in dfg.predecessors(name):
+            if not schedule.is_scheduled(pred):
+                continue
+            if schedule.edge_of(pred) == edge_name:
+                start = max(start, op_finish.get(pred, 0.0))
+        finish = start + delay
+        op_start[name] = start
+        op_finish[name] = finish
+        critical = max(critical, finish)
+
+    # Backward pass: latest start within the state so every downstream
+    # same-state consumer still meets the clock period.
+    latest_start: Dict[str, float] = {}
+    for name in reversed(edge_ops):
+        delay = op_finish[name] - op_start[name]
+        allowed_finish = usable_period
+        for succ in dfg.successors(name):
+            if succ in latest_start and schedule.edge_of(succ) == edge_name:
+                allowed_finish = min(allowed_finish, latest_start[succ])
+        latest_start[name] = allowed_finish - delay
+
+    op_slack = {name: latest_start[name] - op_start[name] for name in edge_ops}
+    return op_start, op_finish, op_slack, critical
+
+
+def usable_clock_period(datapath: Datapath, register_margin: float) -> float:
+    """Clock period left for combinational logic after the register margin."""
+    usable = datapath.clock_period - register_margin
+    if usable <= 0:
+        raise TimingError("register margin leaves no usable clock period")
+    return usable
+
+
 def analyze_state_timing(datapath: Datapath,
                          register_margin: float = 0.0) -> StateTimingReport:
     """Recompute within-state chains using bound-instance delays.
@@ -72,50 +158,21 @@ def analyze_state_timing(datapath: Datapath,
     setup plus clock-to-q overhead (0 by default, matching the paper's
     illustrative examples which ignore it).
     """
-    design = datapath.design
-    schedule = datapath.schedule
-    clock_period = datapath.clock_period - register_margin
-    if clock_period <= 0:
-        raise TimingError("register margin leaves no usable clock period")
+    usable = usable_clock_period(datapath, register_margin)
 
     op_start: Dict[str, float] = {}
     op_finish: Dict[str, float] = {}
+    op_slack: Dict[str, float] = {}
     state_critical: Dict[str, float] = {}
 
-    dfg = design.dfg
-    topo = dfg.topological_order()
-    # Forward pass per state (global topological order keeps chains consistent).
-    for name in topo:
-        if not schedule.is_scheduled(name):
-            continue
-        item = schedule.item(name)
-        delay = _effective_delay(datapath, name)
-        start = 0.0
-        for pred in dfg.predecessors(name):
-            if not schedule.is_scheduled(pred):
-                continue
-            if schedule.edge_of(pred) == item.edge:
-                start = max(start, op_finish.get(pred, 0.0))
-        finish = start + delay
-        op_start[name] = start
-        op_finish[name] = finish
-        state_critical[item.edge] = max(state_critical.get(item.edge, 0.0), finish)
+    for edge, edge_ops in scheduled_ops_by_edge(datapath).items():
+        starts, finishes, slacks, critical = recompute_state(
+            datapath, edge_ops, usable)
+        op_start.update(starts)
+        op_finish.update(finishes)
+        op_slack.update(slacks)
+        state_critical[edge] = critical
 
-    # Backward pass: latest start within the state so every downstream
-    # same-state consumer still meets the clock period.
-    latest_start: Dict[str, float] = {}
-    for name in reversed(topo):
-        if name not in op_start:
-            continue
-        item = schedule.item(name)
-        delay = op_finish[name] - op_start[name]
-        allowed_finish = clock_period
-        for succ in dfg.successors(name):
-            if succ in latest_start and schedule.edge_of(succ) == item.edge:
-                allowed_finish = min(allowed_finish, latest_start[succ])
-        latest_start[name] = allowed_finish - delay
-
-    op_slack = {name: latest_start[name] - op_start[name] for name in op_start}
     return StateTimingReport(
         clock_period=datapath.clock_period,
         state_critical_path=state_critical,

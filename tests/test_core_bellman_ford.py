@@ -4,7 +4,8 @@ import pytest
 
 from repro.core.bellman_ford import compute_sequential_slack_bellman_ford
 from repro.core.sequential_slack import compute_sequential_slack
-from repro.core.timed_dfg import build_timed_dfg
+from repro.core.timed_dfg import TimedDFG, build_timed_dfg
+from repro.errors import TimingError
 from repro.workloads import random_layered_design
 
 
@@ -56,3 +57,52 @@ def test_invalid_clock_rejected(resizer_main, library):
     timed = build_timed_dfg(resizer_main)
     with pytest.raises(Exception):
         compute_sequential_slack_bellman_ford(timed, {}, -1.0)
+
+
+def _chain_with_unreached_nodes():
+    """A DAG whose name-sorted edge order is anti-topological.
+
+    One relaxation pass over the sorted edges only reaches ``y``; ``x`` and
+    ``w`` still sit at -inf when the verification sweep runs, which is the
+    regression surface: the sweep used to feed those -inf arrivals into
+    ``aligned_start`` (OverflowError) instead of skipping them like the main
+    loop does.
+    """
+    timed = TimedDFG("anti_topological_chain")
+    for node in ("z", "y", "x", "w"):
+        timed.add_node(node)
+    timed.add_edge("z", "y", 0)
+    timed.add_edge("y", "x", 0)
+    timed.add_edge("x", "w", 0)
+    return timed
+
+
+def test_verification_sweep_guards_unreached_sources_when_aligned():
+    """Regression: ``max_passes`` too small + ``aligned=True`` must raise the
+    structured non-convergence TimingError, not crash on -inf arrivals."""
+    timed = _chain_with_unreached_nodes()
+    delays = {"z": 200.0, "y": 200.0, "x": 200.0, "w": 200.0}
+    with pytest.raises(TimingError, match="did not converge"):
+        compute_sequential_slack_bellman_ford(timed, delays, 1000.0,
+                                              aligned=True, max_passes=1)
+
+
+@pytest.mark.parametrize("aligned", [False, True])
+def test_unreachable_cycle_nodes_do_not_trigger_spurious_errors(aligned):
+    """Nodes trapped behind a cycle never receive an arrival time; they must
+    neither crash the aligned verification sweep nor masquerade as a
+    positive cycle.  The reachable part of the graph is still analysed."""
+    timed = TimedDFG("cycle_plus_chain")
+    for node in ("a", "b", "loop1", "loop2", "trapped"):
+        timed.add_node(node)
+    timed.add_edge("a", "b", 0)
+    timed.add_edge("loop1", "loop2", 0)
+    timed.add_edge("loop2", "loop1", 0)
+    timed.add_edge("loop2", "trapped", 0)
+    delays = {"a": 300.0, "b": 300.0, "loop1": 100.0, "loop2": 100.0,
+              "trapped": 100.0}
+    result = compute_sequential_slack_bellman_ford(timed, delays, 1000.0,
+                                                   aligned=aligned,
+                                                   max_passes=1)
+    assert result.arrival["b"] == pytest.approx(300.0)
+    assert result.arrival["trapped"] == -float("inf")

@@ -1,5 +1,6 @@
 """Tests of the parallel, resumable DSE engine and the DSEResult range fixes."""
 
+import functools
 import os
 import pickle
 from dataclasses import dataclass
@@ -209,6 +210,46 @@ def test_checkpoint_of_a_different_factory_is_ignored(library, tmp_path):
     rerun = DSEEngine(IDCTPointFactory(rows=2), library, points,
                       executor="serial", checkpoint_path=checkpoint).run()
     assert [o.status for o in rerun.outcomes] == ["ok"] * 3
+
+
+def _build_idct_point(point, rows=1):
+    return IDCTPointFactory(rows=rows)(point)
+
+
+def test_partial_factories_fingerprint_their_arguments(library, tmp_path):
+    """Regression: ``functools.partial`` has no ``__qualname__``, so every
+    partial used to fingerprint as the bare class ``functools.partial`` —
+    letting a checkpoint from one workload silently resume a different one.
+    Partials over different arguments must not share a signature; the same
+    partial rebuilt identically must still resume."""
+    checkpoint = str(tmp_path / "sweep.json")
+    points = sweep_points()
+    DSEEngine(functools.partial(_build_idct_point, rows=1), library, points,
+              executor="serial", checkpoint_path=checkpoint).run()
+
+    mismatched = DSEEngine(functools.partial(_build_idct_point, rows=2),
+                           library, points, executor="serial",
+                           checkpoint_path=checkpoint).run()
+    assert [o.status for o in mismatched.outcomes] == ["ok"] * 3
+
+    resumed = DSEEngine(functools.partial(_build_idct_point, rows=2),
+                        library, points, executor="serial",
+                        checkpoint_path=checkpoint).run()
+    assert [o.status for o in resumed.outcomes] == ["restored"] * 3
+
+
+def test_partial_fingerprints_cover_func_args_and_kwargs():
+    base = DSEEngine._fingerprint(functools.partial(_build_idct_point, rows=1))
+    assert "functools.partial" in base
+    assert "_build_idct_point" in base
+    assert DSEEngine._fingerprint(
+        functools.partial(_build_idct_point, rows=2)) != base
+    assert DSEEngine._fingerprint(functools.partial(sweep_points)) != base
+    # Positional vs keyword binding is distinguished too.
+    assert DSEEngine._fingerprint(functools.partial(_build_idct_point, 1)) != base
+    # Rebuilding the same partial yields the same signature (resume works).
+    assert DSEEngine._fingerprint(
+        functools.partial(_build_idct_point, rows=1)) == base
 
 
 # -- progress + validation ---------------------------------------------------------

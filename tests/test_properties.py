@@ -7,7 +7,7 @@ from repro.core.bellman_ford import compute_sequential_slack_bellman_ford
 from repro.core.budgeting import budget_slack
 from repro.core.opspan import OperationSpans
 from repro.core.sequential_slack import compute_sequential_slack
-from repro.core.timed_dfg import build_timed_dfg
+from repro.core.timed_dfg import build_timed_dfg, is_sink_name
 from repro.ir.operations import OpKind
 from repro.lib import tsmc90_library
 from repro.sched.allocation import minimal_allocation
@@ -71,6 +71,33 @@ def test_sequential_and_bellman_ford_slack_agree(params):
     slow = compute_sequential_slack_bellman_ford(timed, delays, 2000.0)
     for name in fast.slack:
         assert slow.slack[name] == pytest.approx(fast.slack[name])
+
+
+@given(_design_params, st.booleans(),
+       st.sampled_from([900.0, 1500.0, 2000.0]))
+@_SETTINGS
+def test_bellman_ford_is_equivalent_to_topological_analysis(params, aligned,
+                                                            clock_period):
+    """The paper's Table 5 claim, as a property: the Bellman-Ford baseline
+    and the linear topological propagation compute the *same* arrival,
+    required and slack values on any seeded random design — aligned or not,
+    single- or multi-sink (every operation gets a sink node, and layered
+    designs have several terminal operations)."""
+    design = _design(params)
+    timed = build_timed_dfg(design)
+    multi_sink = sum(1 for node in timed.operation_nodes
+                     if all(is_sink_name(e.dst) for e in timed.successors(node)))
+    assert multi_sink >= 1  # terminal operations exist; several for most draws
+    delays = _delays(design)
+    fast = compute_sequential_slack(timed, delays, clock_period,
+                                    aligned=aligned)
+    slow = compute_sequential_slack_bellman_ford(timed, delays, clock_period,
+                                                 aligned=aligned)
+    assert set(slow.slack) == set(fast.slack)
+    for name in fast.slack:
+        assert slow.arrival[name] == pytest.approx(fast.arrival[name], abs=1e-6)
+        assert slow.required[name] == pytest.approx(fast.required[name], abs=1e-6)
+        assert slow.slack[name] == pytest.approx(fast.slack[name], abs=1e-6)
 
 
 @given(_design_params)
