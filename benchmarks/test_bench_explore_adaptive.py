@@ -1,0 +1,126 @@
+"""Adaptive-vs-dense exploration of the Table-4 IDCT latency axis.
+
+The acceptance bar of the exploration subsystem: on the paper's IDCT
+workload, the adaptive explorer must recover the dense-grid Pareto
+frontier within epsilon while issuing at least ``TARGET_SAVING``x fewer
+flow evaluations than the dense grid.
+
+The sweep uses ``rows=1`` deliberately (independent of ``REPRO_IDCT_ROWS``):
+the flows are deterministic, so this benchmark asserts against one fixed,
+fast workload while the golden Table-4 suite keeps guarding the rows=2
+dense sweep byte for byte.
+
+The frontier comparison JSON is written to ``REPRO_FRONTIER_JSON`` (if
+set) so CI can upload it as an artifact.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.explore import AdaptiveExplorer, ResultStore, compare_frontiers
+from repro.explore.report import frontier_report
+from repro.flows import format_table
+from repro.workloads import IDCTPointFactory
+
+CLOCK = 1500.0
+LATENCIES = range(8, 33)  # the Table-4 axis, densified to every latency
+#: Frontier recovery tolerance: 2 latency states additively, 8 % on area.
+EPSILON = (2.0, ("rel", 0.08))
+TARGET_SAVING = 3.0
+
+
+@pytest.fixture(scope="module")
+def explorations(library, tmp_path_factory):
+    store_path = str(tmp_path_factory.mktemp("explore") / "idct_r1.jsonl")
+    factory = IDCTPointFactory(rows=1)
+
+    def explorer():
+        return AdaptiveExplorer(factory, library, LATENCIES,
+                                clock_period=CLOCK,
+                                store=ResultStore(store_path),
+                                workload="idct_r1")
+
+    adaptive = explorer().explore()
+    # The dense grid runs over the same store, so it only pays for the
+    # points the adaptive pass skipped — and its total evaluation count is
+    # reconstructed from evaluated + restored.
+    dense = explorer().explore_dense()
+    return adaptive, dense
+
+
+def test_adaptive_recovers_dense_frontier_with_3x_fewer_evaluations(
+        benchmark, explorations):
+    adaptive, dense = explorations
+    dense_evaluations = dense.engine_evaluations + dense.restored
+    assert dense_evaluations == len(list(LATENCIES))
+
+    diff = compare_frontiers(adaptive.front, dense.front, epsilon=EPSILON,
+                             name_a="adaptive", name_b="dense")
+    saving = dense_evaluations / max(adaptive.engine_evaluations, 1)
+
+    print()
+    print(format_table(
+        ["mode", "flow evals", "front size", "hypervolume", "knee"],
+        [["dense", str(2 * dense_evaluations), str(len(dense.front)),
+          f"{diff.hypervolume_b:.4g}", dense.knee().label],
+         ["adaptive", str(adaptive.flow_runs), str(len(adaptive.front)),
+          f"{diff.hypervolume_a:.4g}", adaptive.knee().label]],
+        title=f"Adaptive vs dense IDCT exploration "
+              f"(latencies {min(LATENCIES)}..{max(LATENCIES)}, "
+              f"T={CLOCK:.0f} ps; saving {saving:.1f}x, "
+              f"coverage {100 * diff.coverage_ab:.0f}%)",
+    ))
+
+    # Acceptance: full epsilon-recovery of the dense frontier ...
+    assert diff.coverage_ab == 1.0, (
+        "adaptive exploration lost dense frontier points beyond epsilon: "
+        f"{[p.label for p in diff.only_in_b]}")
+    # ... at >= 3x fewer flow evaluations.
+    assert saving >= TARGET_SAVING, (
+        f"adaptive exploration used {adaptive.engine_evaluations} "
+        f"evaluations, more than 1/{TARGET_SAVING} of the dense "
+        f"{dense_evaluations}")
+    # The adaptive front itself never contains a dominated point.
+    from repro.explore import pareto_front
+    assert pareto_front(adaptive.front) == adaptive.front
+
+    benchmark.extra_info["adaptive_flow_runs"] = adaptive.flow_runs
+    benchmark.extra_info["dense_flow_runs"] = 2 * dense_evaluations
+    benchmark.extra_info["saving_factor"] = round(saving, 2)
+    benchmark.extra_info["coverage"] = diff.coverage_ab
+    benchmark.pedantic(lambda: saving, rounds=1, iterations=1)
+
+    artifact_path = os.environ.get("REPRO_FRONTIER_JSON")
+    if artifact_path:
+        report = frontier_report(adaptive, baseline=dense, epsilon=EPSILON)
+        report["dense_front"] = frontier_report(dense)["front"]
+        with open(artifact_path, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=1, sort_keys=True)
+        print(f"frontier artifact written to {artifact_path}")
+
+
+def test_store_makes_repeat_exploration_free(benchmark, explorations, library,
+                                             tmp_path_factory):
+    adaptive, dense = explorations
+    # Everything the two passes evaluated is in the store; a re-run of the
+    # dense grid through a *fresh* store object evaluates nothing.
+    assert dense.restored == len(adaptive.evaluated_latencies)
+
+    store_path = str(tmp_path_factory.mktemp("explore2") / "idct_r1.jsonl")
+    factory = IDCTPointFactory(rows=1)
+    first = AdaptiveExplorer(factory, library, LATENCIES, clock_period=CLOCK,
+                             store=ResultStore(store_path),
+                             workload="idct_r1").explore()
+    rerun = AdaptiveExplorer(factory, library, LATENCIES, clock_period=CLOCK,
+                             store=ResultStore(store_path),
+                             workload="idct_r1").explore()
+    assert first.engine_evaluations > 0
+    assert rerun.engine_evaluations == 0
+    assert rerun.restored == len(first.evaluated_latencies)
+    assert [p.values for p in rerun.front] == [p.values for p in first.front]
+
+    benchmark.extra_info["first_wall_s"] = round(first.wall_time_seconds, 3)
+    benchmark.extra_info["rerun_wall_s"] = round(rerun.wall_time_seconds, 3)
+    benchmark.pedantic(lambda: rerun.restored, rounds=1, iterations=1)

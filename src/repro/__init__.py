@@ -18,6 +18,10 @@ The package implements a complete high-level-synthesis (HLS) research stack:
   "logic synthesis" stand-in).
 * :mod:`repro.flows` — end-to-end conventional and slack-based flows plus the
   design-space-exploration harness used to regenerate the paper's tables.
+* :mod:`repro.explore` — the exploration layer on top of the sweeps:
+  adaptive Pareto-front recovery with far fewer flow evaluations, a
+  persistent fingerprint-keyed result store, frontier comparison across
+  workloads/flows and the ``repro-explore`` CLI.
 * :mod:`repro.workloads` — the paper's kernels (interpolation, resizer, IDCT)
   and additional public-style kernels.
 

@@ -1,0 +1,427 @@
+"""Adaptive design-space exploration: coarse grid + guided refinement.
+
+A dense sweep evaluates every candidate design point; on the paper's
+Table-4 IDCT latency axis that means two full HLS flows per latency even
+though most of the curve is flat.  :class:`AdaptiveExplorer` spends flow
+evaluations only where the area/latency trade-off has structure:
+
+1. **Coarse wave** — an evenly spaced subgrid of the candidate latencies
+   (endpoints always included) is evaluated through
+   :class:`repro.flows.engine.DSEEngine` (batched, parallel, per-point
+   error isolation).
+2. **Refinement waves** — between consecutive evaluated points the driver
+   bisects (successive bisection over the swept latency budget) while the
+   local evidence says the frontier may have structure there:
+
+   * *descent*: the guide objective drops by more than
+     ``descent_fraction`` from the left endpoint to the right one — the
+     front passes through the interval, resolve where;
+   * *non-convexity*: an evaluated point sits more than
+     ``convexity_fraction`` above the chord of its two neighbours — the
+     curve is locally non-convex, so both adjacent intervals may hide a
+     dip (each witness point triggers this once; repeated drilling around
+     one spike has no frontier payoff);
+
+   and stops on intervals narrower than ``width_stop`` latency states.
+   An interval is therefore left unrefined for one of two reasons, and
+   each bounds the recovery error differently: either it reached the
+   resolution floor (every interior latency is within ``width_stop - 1``
+   states of the interval's endpoints), or the guide objective changed by
+   less than the refinement thresholds across it (interior structure, if
+   any, is below the thresholds on monotone curves — the property tests
+   pin the resulting epsilon-coverage guarantee for monotone step curves,
+   and the Table-4 benchmark asserts it empirically on the real,
+   non-monotone IDCT curve).
+3. **Reuse everywhere** — before any flow runs, each candidate point is
+   fingerprinted (:func:`repro.core.analysis_cache.design_fingerprint` of
+   its factory-built design) and resolved against the session's own
+   evaluations and the persistent :class:`repro.explore.store.ResultStore`;
+   structurally identical points (and any point explored in an earlier
+   session with the same clock/II/margin) are restored instead of
+   re-evaluated.
+
+The result carries every evaluated metrics record, the Pareto front over
+the configured objectives and the evaluation ledger (engine evaluations vs
+store restores vs fingerprint dedups), so benchmarks can assert both the
+recovery quality and the saved work.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.errors import ReproError
+from repro.flows.dse import DesignPoint
+from repro.flows.engine import DSEEngine
+from repro.explore.pareto import (
+    OBJECTIVE_SENSES,
+    EpsilonSpec,
+    FrontPoint,
+    coverage,
+    front_from_metrics,
+    hypervolume,
+    knee_point,
+    objective_vector,
+    pareto_front,
+    reference_point,
+)
+
+#: Registered objectives that only exist on live :class:`FlowResult`
+#: objects (wall-clock data is deliberately excluded from persisted
+#: metrics), so an exploration can never provide them.
+_LIVE_ONLY_OBJECTIVES = frozenset({"runtime_s"})
+from repro.explore.store import ResultStore, StoreKey, key_for
+
+
+@dataclass(frozen=True)
+class RefinementPolicy:
+    """When the adaptive driver keeps bisecting an interval.
+
+    ``coarse_points`` sizes the initial grid.  ``descent_fraction`` and
+    ``convexity_fraction`` are relative thresholds on the guide objective
+    (see the module docstring).  ``width_stop`` is the resolution floor in
+    swept-parameter units: intervals no wider than this are final, so the
+    latency error of fully-refined regions is at most ``width_stop - 1``
+    states (intervals whose endpoints agree to within the thresholds stop
+    earlier and are covered by the relative epsilon instead — see the
+    module docstring for the exact guarantee).  ``max_waves`` and
+    ``max_evaluations`` are hard safety caps.
+    """
+
+    coarse_points: int = 5
+    descent_fraction: float = 0.20
+    convexity_fraction: float = 0.10
+    width_stop: int = 3
+    max_waves: int = 12
+    max_evaluations: Optional[int] = None
+
+    def __post_init__(self):
+        if self.coarse_points < 2:
+            raise ReproError("the coarse grid needs at least its two endpoints")
+        if self.width_stop < 1:
+            raise ReproError("width_stop must be at least 1")
+
+
+@dataclass
+class ExplorationResult:
+    """Everything one exploration produced, plus its evaluation ledger."""
+
+    workload: str
+    mode: str  # "adaptive" | "dense"
+    objectives: Tuple[str, ...]
+    flow: str
+    curve: Dict[int, Mapping[str, object]] = field(default_factory=dict)
+    points: List[FrontPoint] = field(default_factory=list)
+    front: List[FrontPoint] = field(default_factory=list)
+    engine_evaluations: int = 0
+    restored: int = 0
+    deduplicated: int = 0
+    waves: int = 0
+    wall_time_seconds: float = 0.0
+
+    @property
+    def flow_runs(self) -> int:
+        """Flow executions actually issued (two flows per engine evaluation)."""
+        return 2 * self.engine_evaluations
+
+    @property
+    def evaluated_latencies(self) -> List[int]:
+        return sorted(self.curve)
+
+    def hypervolume(self, reference: Optional[Sequence[float]] = None) -> float:
+        """Dominated hypervolume of the front (auto-reference if omitted)."""
+        if not self.points:
+            return 0.0
+        ref = tuple(reference) if reference is not None \
+            else reference_point(self.points)
+        return hypervolume(self.front, ref)
+
+    def knee(self) -> FrontPoint:
+        return knee_point(self.front)
+
+    def covers(self, other: "ExplorationResult",
+               epsilon: EpsilonSpec = 0.0) -> float:
+        """Fraction of ``other``'s front epsilon-dominated by this front."""
+        return coverage(self.front, other.front, epsilon)
+
+
+def _snap_grid(domain: Sequence[int], count: int) -> List[int]:
+    """``count`` evenly spaced members of ``domain``, endpoints included."""
+    if len(domain) <= count:
+        return list(domain)
+    last = len(domain) - 1
+    indices = sorted({round(i * last / (count - 1)) for i in range(count)})
+    return [domain[i] for i in indices]
+
+
+class AdaptiveExplorer:
+    """Adaptive (or dense) exploration of a latency sweep for one workload.
+
+    Parameters
+    ----------
+    design_factory:
+        Maps a :class:`DesignPoint` to a design (see
+        :mod:`repro.workloads.factories`); picklable factories unlock the
+        engine's process pool.
+    library:
+        Resource library shared by all points.
+    latencies:
+        The candidate (dense) grid of latencies.  The adaptive mode
+        evaluates a subset of it; :meth:`explore_dense` evaluates all.
+    clock_period / pipeline_ii / margin_fraction:
+        Fixed per-sweep parameters of every design point.
+    objectives / flow:
+        The Pareto objectives (see
+        :data:`repro.explore.pareto.OBJECTIVE_SENSES`) and which flow's
+        metrics feed them.  ``guide_objective`` (default ``"area"``) is the
+        scalar the refinement rules watch.
+    store:
+        Optional :class:`ResultStore`; hits skip flow evaluation, results
+        are appended, so a re-run of any exploration is free.
+    evaluate_batch:
+        Testing/simulation hook replacing the engine: a callable mapping a
+        list of :class:`DesignPoint` to a list of metrics dicts.  Store and
+        fingerprint reuse still apply around it.
+    engine_kwargs:
+        Extra :class:`DSEEngine` arguments (executor, max_workers,
+        progress, ...).
+    """
+
+    def __init__(
+        self,
+        design_factory: Callable[[DesignPoint], object],
+        library,
+        latencies: Sequence[int],
+        clock_period: float = 1500.0,
+        pipeline_ii: Optional[int] = None,
+        margin_fraction: float = 0.05,
+        objectives: Sequence[str] = ("latency_steps", "area"),
+        flow: str = "slack_based",
+        guide_objective: str = "area",
+        policy: Optional[RefinementPolicy] = None,
+        store: Optional[ResultStore] = None,
+        workload: str = "",
+        evaluate_batch: Optional[Callable[[List[DesignPoint]],
+                                          List[Mapping[str, object]]]] = None,
+        engine_kwargs: Optional[Dict[str, object]] = None,
+    ):
+        domain = sorted(set(int(latency) for latency in latencies))
+        if not domain:
+            raise ReproError("an exploration needs at least one candidate latency")
+        # Validate the objective selection up front: a typo must fail here,
+        # not after the full sweep cost has been paid.
+        for name in tuple(objectives) + (guide_objective,):
+            if name not in OBJECTIVE_SENSES:
+                raise ReproError(
+                    f"unknown objective {name!r}; registered objectives: "
+                    f"{sorted(OBJECTIVE_SENSES)}")
+            if name in _LIVE_ONLY_OBJECTIVES:
+                raise ReproError(
+                    f"objective {name!r} is wall-clock data and exists only "
+                    "on live FlowResult objects; persisted sweep metrics "
+                    "exclude it by design, so explorations cannot optimize "
+                    "it (use FlowResult.objective() on individual runs)")
+        self.design_factory = design_factory
+        self.library = library
+        self.domain = domain
+        self.clock_period = float(clock_period)
+        self.pipeline_ii = pipeline_ii
+        self.margin_fraction = float(margin_fraction)
+        self.objectives = tuple(objectives)
+        self.flow = flow
+        self.guide_objective = guide_objective
+        self.policy = policy or RefinementPolicy()
+        self.store = store
+        self.workload = workload or getattr(design_factory, "__class__",
+                                            type(design_factory)).__name__
+        self.evaluate_batch = evaluate_batch
+        self.engine_kwargs = dict(engine_kwargs or {})
+        # Session state.
+        self._curve: Dict[int, Mapping[str, object]] = {}
+        self._by_key: Dict[StoreKey, Mapping[str, object]] = {}
+        self._exhausted_witnesses: Set[int] = set()
+        self._engine_evaluations = 0
+        self._restored = 0
+        self._deduplicated = 0
+
+    # -- evaluation --------------------------------------------------------------
+
+    def _point_for(self, latency: int) -> DesignPoint:
+        suffix = f"_ii{self.pipeline_ii}" if self.pipeline_ii else ""
+        return DesignPoint(
+            name=f"{self.workload}_L{latency}{suffix}",
+            latency=latency,
+            pipeline_ii=self.pipeline_ii,
+            clock_period=self.clock_period,
+        )
+
+    def _guide(self, latency: int) -> float:
+        """The guide objective's minimization value at an evaluated latency."""
+        return objective_vector(self._curve[latency], (self.guide_objective,),
+                                flow=self.flow)[0]
+
+    def _evaluate(self, latencies: Sequence[int]) -> None:
+        """Resolve each latency via dedup, store, then the engine."""
+        pending: List[Tuple[int, DesignPoint, StoreKey]] = []
+        pending_keys: Set[StoreKey] = set()
+        followers: List[Tuple[int, StoreKey]] = []
+        for latency in latencies:
+            if latency in self._curve:
+                continue
+            point = self._point_for(latency)
+            key = key_for(self.design_factory(point), point,
+                          self.margin_fraction)
+            if key in self._by_key:
+                self._curve[latency] = self._by_key[key]
+                self._deduplicated += 1
+                continue
+            if key in pending_keys:
+                # Structurally identical to a point already queued in this
+                # wave (e.g. a workload whose structure ignores the latency
+                # knob): evaluate once, share the metrics afterwards.
+                followers.append((latency, key))
+                continue
+            if self.store is not None:
+                stored = self.store.get_metrics(key)
+                if stored is not None:
+                    self._curve[latency] = stored
+                    self._by_key[key] = stored
+                    self._restored += 1
+                    continue
+            pending.append((latency, point, key))
+            pending_keys.add(key)
+
+        if not pending:
+            self._resolve_followers(followers)
+            return
+        budget = self.policy.max_evaluations
+        if budget is not None and self._engine_evaluations + len(pending) > budget:
+            allowed = max(0, budget - self._engine_evaluations)
+            pending = pending[:allowed]
+            if not pending:
+                return
+
+        points = [point for _, point, _ in pending]
+        if self.evaluate_batch is not None:
+            metrics_list = list(self.evaluate_batch(points))
+            if len(metrics_list) != len(points):
+                raise ReproError("evaluate_batch returned a result count "
+                                 "mismatching its input points")
+        else:
+            engine = DSEEngine(self.design_factory, self.library, points,
+                               margin_fraction=self.margin_fraction,
+                               **self.engine_kwargs)
+            result = engine.run()
+            result.raise_on_errors()
+            metrics_list = [outcome.metrics for outcome in result.outcomes]
+
+        for (latency, point, key), metrics in zip(pending, metrics_list):
+            if metrics is None:
+                raise ReproError(f"evaluation of {point.name} produced no metrics")
+            self._curve[latency] = metrics
+            self._by_key[key] = metrics
+            self._engine_evaluations += 1
+            if self.store is not None:
+                self.store.put(key, metrics, workload=self.workload)
+        self._resolve_followers(followers)
+
+    def _resolve_followers(self, followers: List[Tuple[int, StoreKey]]) -> None:
+        """Share metrics with same-fingerprint points of the current wave.
+
+        A follower whose leader was trimmed by the evaluation budget stays
+        unresolved and is retried (or re-queued) on a later wave.
+        """
+        for latency, key in followers:
+            if key in self._by_key:
+                self._curve[latency] = self._by_key[key]
+                self._deduplicated += 1
+
+    # -- refinement --------------------------------------------------------------
+
+    def _refinement_targets(self) -> List[int]:
+        """Midpoints of every interval the policy wants bisected next."""
+        evaluated = [lat for lat in self.domain if lat in self._curve]
+        if len(evaluated) < 2:
+            return []
+        guide = {lat: self._guide(lat) for lat in evaluated}
+
+        intervals: Set[Tuple[int, int]] = set()
+
+        def magnitude(lat: int) -> float:
+            return max(abs(guide[lat]), 1e-12)
+
+        # Descent rule: the guide drops left-to-right by more than the
+        # threshold — the frontier descends through this interval.
+        for left, right in zip(evaluated, evaluated[1:]):
+            drop = guide[left] - guide[right]
+            if drop > self.policy.descent_fraction * magnitude(left):
+                intervals.add((left, right))
+
+        # Non-convexity witnesses: an evaluated point far above its
+        # neighbours' chord flags both adjacent intervals, once per witness.
+        for left, mid, right in zip(evaluated, evaluated[1:], evaluated[2:]):
+            if mid in self._exhausted_witnesses:
+                continue
+            t = (mid - left) / (right - left)
+            chord = guide[left] + t * (guide[right] - guide[left])
+            if guide[mid] - chord > self.policy.convexity_fraction * max(
+                    abs(chord), 1e-12):
+                self._exhausted_witnesses.add(mid)
+                intervals.add((left, mid))
+                intervals.add((mid, right))
+
+        targets = []
+        index_of = {lat: i for i, lat in enumerate(self.domain)}
+        for left, right in sorted(intervals):
+            if right - left <= self.policy.width_stop:
+                continue
+            mid_index = (index_of[left] + index_of[right]) // 2
+            mid = self.domain[mid_index]
+            if mid not in self._curve and mid not in (left, right):
+                targets.append(mid)
+        return sorted(set(targets))
+
+    # -- drivers -----------------------------------------------------------------
+
+    def _result(self, mode: str, waves: int, start: float) -> ExplorationResult:
+        metrics_list = [self._curve[lat] for lat in sorted(self._curve)]
+        points = front_from_metrics(metrics_list, self.objectives, flow=self.flow)
+        return ExplorationResult(
+            workload=self.workload,
+            mode=mode,
+            objectives=self.objectives,
+            flow=self.flow,
+            curve=dict(sorted(self._curve.items())),
+            points=points,
+            front=pareto_front(points),
+            engine_evaluations=self._engine_evaluations,
+            restored=self._restored,
+            deduplicated=self._deduplicated,
+            waves=waves,
+            wall_time_seconds=time.perf_counter() - start,
+        )
+
+    def explore(self) -> ExplorationResult:
+        """Coarse grid + refinement waves until the policy is satisfied."""
+        start = time.perf_counter()
+        self._evaluate(_snap_grid(self.domain, self.policy.coarse_points))
+        waves = 0
+        while waves < self.policy.max_waves:
+            targets = self._refinement_targets()
+            if not targets:
+                break
+            before = len(self._curve)
+            self._evaluate(targets)
+            waves += 1
+            if len(self._curve) == before:
+                break  # evaluation budget exhausted
+        return self._result("adaptive", waves, start)
+
+    def explore_dense(self) -> ExplorationResult:
+        """Evaluate the entire candidate grid (the baseline the adaptive
+        mode is compared against; store reuse still applies)."""
+        start = time.perf_counter()
+        self._evaluate(list(self.domain))
+        return self._result("dense", 0, start)

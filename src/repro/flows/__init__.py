@@ -14,6 +14,9 @@
 * :mod:`repro.flows.pipeline` — the per-point pipeline stage
   (:class:`PointArtifacts`) shared by the flows and the sweep harnesses.
 * :mod:`repro.flows.report` — text tables matching the paper's layout.
+
+The exploration layer (:mod:`repro.explore`) builds on these: adaptive
+Pareto-guided sweeps, a persistent result store and frontier analytics.
 """
 
 from repro.flows.result import FlowResult
@@ -25,6 +28,7 @@ from repro.flows.dse import (
     DSEEntry,
     DSEResult,
     evaluate_point,
+    latency_grid,
     run_dse,
     idct_design_points,
 )
@@ -37,6 +41,8 @@ from repro.flows.engine import (
     scenario_sweep,
 )
 from repro.flows.report import (
+    fmt_metric,
+    format_markdown_table,
     format_table,
     table1_rows,
     table2_rows,
@@ -53,6 +59,7 @@ __all__ = [
     "DSEEntry",
     "DSEResult",
     "evaluate_point",
+    "latency_grid",
     "run_dse",
     "idct_design_points",
     "DSEEngine",
@@ -61,6 +68,8 @@ __all__ = [
     "ProgressEvent",
     "SweepScenario",
     "scenario_sweep",
+    "fmt_metric",
+    "format_markdown_table",
     "format_table",
     "table1_rows",
     "table2_rows",

@@ -70,18 +70,6 @@ class DSEEntry:
         same sweep — serial or parallel, in any process — produce identical
         metrics.
         """
-
-        def flow_metrics(result: FlowResult) -> Dict[str, object]:
-            return {
-                "area": result.total_area,
-                "power": result.total_power,
-                "throughput": result.throughput,
-                "latency_steps": result.latency_steps,
-                "meets_timing": result.meets_timing,
-                "fu_instances": result.datapath.num_instances,
-                "registers": result.datapath.num_registers,
-            }
-
         return {
             "point": {
                 "name": self.point.name,
@@ -89,8 +77,8 @@ class DSEEntry:
                 "pipeline_ii": self.point.pipeline_ii,
                 "clock_period": self.point.clock_period,
             },
-            "conventional": flow_metrics(self.conventional),
-            "slack_based": flow_metrics(self.slack_based),
+            "conventional": self.conventional.metrics(),
+            "slack_based": self.slack_based.metrics(),
             "saving_percent": self.saving_percent,
         }
 
@@ -146,6 +134,29 @@ class DSEResult:
     def losses(self) -> int:
         return sum(1 for entry in self.entries if entry.saving_percent < 0)
 
+    def metrics_list(self) -> List[Dict[str, object]]:
+        """The JSON-safe per-point metrics of the sweep, in entry order.
+
+        This is the exchange format of the exploration layer: feed it to
+        :func:`repro.explore.pareto.front_from_metrics`, persist it through
+        :meth:`repro.explore.store.ResultStore.import_dse_result`, or diff
+        it with :mod:`repro.explore.compare`.
+        """
+        return [entry.metrics() for entry in self.entries]
+
+    def pareto_front(self, objectives: Sequence[str] = ("latency_steps", "area"),
+                     flow: str = "slack_based"):
+        """The sweep's Pareto-optimal points over ``objectives``.
+
+        Returns :class:`repro.explore.pareto.FrontPoint` objects (imported
+        lazily — the exploration layer depends on the flows, not vice
+        versa).
+        """
+        from repro.explore.pareto import front_from_metrics, pareto_front
+
+        return pareto_front(front_from_metrics(self.metrics_list(),
+                                               objectives, flow=flow))
+
 
 def idct_design_points(clock_period: float = 1500.0) -> List[DesignPoint]:
     """The 15 IDCT design points mirroring the paper's Table 4 sweep.
@@ -164,6 +175,28 @@ def idct_design_points(clock_period: float = 1500.0) -> List[DesignPoint]:
         points.append(DesignPoint(name=f"D{offset}", latency=latency,
                                   pipeline_ii=ii, clock_period=clock_period))
     return points
+
+
+def latency_grid(
+    low: int,
+    high: int,
+    clock_period: float = 1500.0,
+    pipeline_ii: Optional[int] = None,
+    prefix: str = "L",
+) -> List[DesignPoint]:
+    """A dense latency sweep: one design point per latency in ``[low, high]``.
+
+    This is the exhaustive grid the adaptive explorer is benchmarked
+    against (the Table-4 axis extends the paper's 15 hand-picked points to
+    every latency in the range).
+    """
+    if high < low:
+        raise ReproError(f"empty latency grid [{low}, {high}]")
+    return [
+        DesignPoint(name=f"{prefix}{latency}", latency=latency,
+                    pipeline_ii=pipeline_ii, clock_period=clock_period)
+        for latency in range(low, high + 1)
+    ]
 
 
 def evaluate_point(

@@ -170,6 +170,15 @@ class DSEEngine:
         Optional JSON checkpoint file.  Completed points are appended as
         they finish; a rerun with the same sweep skips them ("restored").
         A checkpoint written by a *different* sweep is ignored.
+    precomputed:
+        Optional mapping of point *name* to an already-known metrics dict
+        (e.g. a :meth:`repro.explore.store.ResultStore.precomputed_for`
+        lookup).  Matching points are restored without evaluation, exactly
+        like checkpoint hits; explicit precomputed metrics win over the
+        checkpoint.  Unlike checkpoint records they are trusted as given —
+        the caller is responsible for keying them correctly (the result
+        store keys by design fingerprint + clock/II/margin, which is
+        sufficient).
     progress:
         Optional callable receiving a :class:`ProgressEvent` per point.
     """
@@ -183,6 +192,7 @@ class DSEEngine:
         executor: str = "auto",
         max_workers: Optional[int] = None,
         checkpoint_path: Optional[str] = None,
+        precomputed: Optional[Dict[str, Dict[str, object]]] = None,
         progress: Optional[Callable[[ProgressEvent], None]] = None,
     ):
         if executor not in ("auto", "process", "thread", "serial"):
@@ -197,6 +207,7 @@ class DSEEngine:
         self.executor = executor
         self.max_workers = max_workers
         self.checkpoint_path = checkpoint_path
+        self.precomputed = dict(precomputed) if precomputed else {}
         self.progress = progress
 
     # -- checkpointing -----------------------------------------------------------
@@ -348,12 +359,20 @@ class DSEEngine:
         done = 0
 
         for index, point in enumerate(self.points):
-            record = records.get(point.name)
-            if record and record.get("status") == "ok":
+            known = self.precomputed.get(point.name)
+            worker_seconds = 0.0
+            if known is None:
+                record = records.get(point.name)
+                if record and record.get("status") == "ok":
+                    known = record.get("metrics")
+                    # Timing is only meaningful for the record the metrics
+                    # actually came from; precomputed restores supersede any
+                    # checkpoint record, stale timing included.
+                    worker_seconds = float(record.get("worker_seconds", 0.0))
+            if known is not None:
                 outcomes[index] = PointOutcome(
-                    point=point, status="restored",
-                    metrics=record.get("metrics"),
-                    worker_seconds=float(record.get("worker_seconds", 0.0)),
+                    point=point, status="restored", metrics=known,
+                    worker_seconds=worker_seconds,
                 )
                 done += 1
                 self._emit(point, "restored", done, total)

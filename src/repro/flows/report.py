@@ -7,6 +7,7 @@ representation.  :func:`format_table` renders them with aligned columns.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.ir.operations import OpKind
@@ -14,18 +15,42 @@ from repro.lib.library import Library
 from repro.flows.result import FlowResult
 
 
-def format_table(header: Sequence[str], rows: Iterable[Sequence[str]],
-                 title: Optional[str] = None) -> str:
-    """Render rows with aligned, space-padded columns."""
+def fmt_metric(value, spec: str = ".1f", missing: str = "n/a") -> str:
+    """Format one numeric cell, rendering non-numbers and non-finite values
+    (``nan``/``inf`` from failed design points) as ``missing`` instead of
+    leaking ``nan`` strings into (or crashing) a table."""
+    try:
+        number = float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return missing
+    if not math.isfinite(number):
+        return missing
+    return format(number, spec)
+
+
+def _normalize_rows(header: Sequence[str], rows: Iterable[Sequence[str]],
+                    ) -> Tuple[List[str], List[List[str]], List[int]]:
+    """Stringify and pad header/rows to one rectangular width table."""
     rows = [list(map(str, row)) for row in rows]
     header = list(map(str, header))
+    columns = max([len(header)] + [len(row) for row in rows]) if (header or rows) else 0
+    header += [""] * (columns - len(header))
     widths = [len(h) for h in header]
     for row in rows:
+        row += [""] * (columns - len(row))
         for index, cell in enumerate(row):
-            if index >= len(widths):
-                widths.append(len(cell))
-            else:
-                widths[index] = max(widths[index], len(cell))
+            widths[index] = max(widths[index], len(cell))
+    return header, rows, widths
+
+
+def format_table(header: Sequence[str], rows: Iterable[Sequence[str]],
+                 title: Optional[str] = None) -> str:
+    """Render rows with aligned, space-padded columns.
+
+    Robust to empty row sets, empty headers and ragged rows (short rows are
+    padded, long rows widen the table instead of overflowing it).
+    """
+    header, rows, widths = _normalize_rows(header, rows)
     lines = []
     if title:
         lines.append(title)
@@ -33,6 +58,24 @@ def format_table(header: Sequence[str], rows: Iterable[Sequence[str]],
     lines.append("  ".join("-" * widths[i] for i in range(len(header))))
     for row in rows:
         lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(header: Sequence[str], rows: Iterable[Sequence[str]],
+                          ) -> str:
+    """Render header/rows as a GitHub-flavoured markdown table (same
+    padding/raggedness rules as :func:`format_table`)."""
+    header, rows, widths = _normalize_rows(header, rows)
+    if not header:
+        return ""
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(
+            cell.ljust(widths[i]) for i, cell in enumerate(cells)) + " |"
+
+    lines = [line(header),
+             "| " + " | ".join("-" * widths[i] for i in range(len(header))) + " |"]
+    lines.extend(line(row) for row in rows)
     return "\n".join(lines)
 
 
@@ -60,8 +103,8 @@ def table2_rows(case1: FlowResult, case2: FlowResult, slack: FlowResult,
                      if i.class_key[0] in ("add", "sub"))
         return [
             label,
-            f"{result.datapath.binding.total_fu_area():.0f}",
-            f"{result.total_area:.0f}",
+            fmt_metric(result.datapath.binding.total_fu_area(), ".0f"),
+            fmt_metric(result.total_area, ".0f"),
             str(mults),
             str(adders),
             "yes" if result.meets_timing else "no",
@@ -75,7 +118,12 @@ def table2_rows(case1: FlowResult, case2: FlowResult, slack: FlowResult,
 
 
 def table4_rows(dse_result) -> Tuple[List[str], List[List[str]]]:
-    """Paper Table 4: per-design-point areas and savings."""
+    """Paper Table 4: per-design-point areas and savings.
+
+    An empty sweep renders as a header-only table (the average of zero
+    points is undefined, so no Average row is emitted — previously this
+    raised); non-finite areas/savings from failed points render as ``n/a``.
+    """
     header = ["Des", "latency", "II", "A_conv", "A_slack", "Save %"]
     rows = []
     for entry in dse_result.entries:
@@ -83,22 +131,32 @@ def table4_rows(dse_result) -> Tuple[List[str], List[List[str]]]:
             entry.point.name,
             str(entry.point.latency),
             str(entry.point.pipeline_ii or "-"),
-            f"{entry.area_conventional:.0f}",
-            f"{entry.area_slack:.0f}",
-            f"{entry.saving_percent:.1f}",
+            fmt_metric(entry.area_conventional, ".0f"),
+            fmt_metric(entry.area_slack, ".0f"),
+            fmt_metric(entry.saving_percent, ".1f"),
         ])
-    rows.append(["Average", "", "", "", "", f"{dse_result.average_saving_percent():.1f}"])
+    if dse_result.entries:
+        rows.append(["Average", "", "", "", "",
+                     fmt_metric(dse_result.average_saving_percent(), ".1f")])
     return header, rows
 
 
 def table5_rows(conventional_seconds: float, slack_seconds: float,
                 bellman_ford_seconds: float) -> Tuple[List[str], List[List[str]]]:
-    """Paper Table 5: relative scheduling execution times."""
+    """Paper Table 5: relative scheduling execution times.
+
+    With a non-positive or non-finite baseline the row degrades to
+    absolute seconds (including the baseline cell itself, so a broken
+    measurement is never disguised as a clean ``1.00`` ratio), and
+    non-finite measurements render as ``n/a`` rather than ``nan``.
+    """
     header = ["Conventional", "Sequential slack based", "Bellman-Ford based"]
-    base = conventional_seconds if conventional_seconds > 0 else 1.0
+    baseline_valid = (math.isfinite(conventional_seconds)
+                      and conventional_seconds > 0)
+    base = conventional_seconds if baseline_valid else 1.0
     rows = [[
-        "1.00",
-        f"{slack_seconds / base:.2f}",
-        f"{bellman_ford_seconds / base:.2f}",
+        "1.00" if baseline_valid else fmt_metric(conventional_seconds, ".2f"),
+        fmt_metric(slack_seconds / base, ".2f"),
+        fmt_metric(bellman_ford_seconds / base, ".2f"),
     ]]
     return header, rows

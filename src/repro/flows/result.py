@@ -44,6 +44,39 @@ class FlowResult:
     def throughput(self) -> float:
         return self.power.throughput
 
+    def metrics(self) -> Dict[str, object]:
+        """The JSON-safe per-flow metrics shared by checkpoints, golden
+        files and the exploration store (:meth:`DSEEntry.metrics` embeds
+        one of these per flow).  Wall-clock fields are deliberately
+        excluded so two runs of the same flow produce identical metrics."""
+        return {
+            "area": self.total_area,
+            "power": self.total_power,
+            "throughput": self.throughput,
+            "latency_steps": self.latency_steps,
+            "meets_timing": self.meets_timing,
+            "fu_instances": self.datapath.num_instances,
+            "registers": self.datapath.num_registers,
+        }
+
+    def objective(self, name: str) -> float:
+        """One scalar objective of this flow run, by registered name.
+
+        Supports every numeric key of :meth:`metrics` plus ``runtime_s``
+        and ``scheduling_s`` (wall-clock objectives, available only on live
+        :class:`FlowResult` objects — persisted metrics exclude them by
+        design).  This is the accessor the Pareto toolbox documents for
+        FlowResult-level objective extraction.
+        """
+        if name == "runtime_s":
+            return float(self.runtime_seconds)
+        if name == "scheduling_s":
+            return float(self.scheduling_seconds)
+        value = self.metrics().get(name)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise KeyError(f"{name!r} is not a numeric objective of a flow result")
+        return float(value)
+
     def summary(self) -> Dict[str, object]:
         return {
             "flow": self.flow,

@@ -28,8 +28,10 @@ from repro.workloads.kernels import (
 from repro.workloads.generator import random_layered_design
 from repro.workloads.factories import (
     IDCTPointFactory,
+    InterpolationPointFactory,
     KernelPointFactory,
     RandomPointFactory,
+    ResizerPointFactory,
 )
 
 __all__ = [
@@ -45,6 +47,8 @@ __all__ = [
     "sobel_design",
     "random_layered_design",
     "IDCTPointFactory",
+    "InterpolationPointFactory",
     "KernelPointFactory",
     "RandomPointFactory",
+    "ResizerPointFactory",
 ]

@@ -19,6 +19,8 @@ from typing import Callable, Dict, Tuple
 
 from repro.ir.design import Design
 from repro.workloads.idct import idct_design
+from repro.workloads.interpolation import interpolation_design
+from repro.workloads.resizer import resizer_design
 from repro.workloads.generator import random_layered_design
 from repro.workloads.kernels import (
     dct_butterfly_design,
@@ -77,6 +79,47 @@ class KernelPointFactory:
         builder = KERNEL_BUILDERS[self.kernel]
         return builder(latency=point.latency, width=self.width,
                        clock_period=point.clock_period, **dict(self.params))
+
+
+@dataclass(frozen=True)
+class InterpolationPointFactory:
+    """Builds the paper's Section II interpolation design for a design point.
+
+    The interpolation workload's latency knob is its number of states, so
+    ``point.latency`` maps to ``num_states``; ``unroll`` scales the number
+    of multiply/add pairs.  This makes the paper's motivating example
+    sweepable by the DSE engine and the exploration layer alongside the
+    IDCT and the public-style kernels.
+    """
+
+    unroll: int = 4
+    data_width: int = 8
+    accum_width: int = 16
+
+    def __call__(self, point) -> Design:
+        return interpolation_design(unroll=self.unroll,
+                                    num_states=point.latency,
+                                    data_width=self.data_width,
+                                    accum_width=self.accum_width,
+                                    name=f"interp_u{self.unroll}_l{point.latency}")
+
+
+@dataclass(frozen=True)
+class ResizerPointFactory:
+    """Builds the Fig. 4 resizer design for a design point.
+
+    The resizer's control structure is fixed by the paper (its CFG does not
+    stretch with a latency budget), so every design point maps to the same
+    structure regardless of ``point.latency`` — which makes it the
+    degenerate-sweep stress case: the exploration store's fingerprint
+    dedup collapses a whole latency sweep to a single flow evaluation per
+    clock period.  Sweep the clock period instead to get a real trade-off.
+    """
+
+    width: int = 16
+
+    def __call__(self, point) -> Design:
+        return resizer_design(width=self.width)
 
 
 @dataclass(frozen=True)

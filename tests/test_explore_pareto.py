@@ -1,0 +1,216 @@
+"""Property-based tests of the Pareto toolbox.
+
+No third-party property-testing dependency is assumed: properties are
+checked over many seeded random instances, which keeps failures
+reproducible (the seed is in the parametrization).
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.errors import ReproError
+from repro.explore.pareto import (
+    FrontPoint,
+    coverage,
+    dominates,
+    epsilon_dominates,
+    front_from_metrics,
+    hypervolume,
+    knee_point,
+    objective_vector,
+    pareto_front,
+    reference_point,
+)
+
+
+def make_points(vectors, objectives=("latency_steps", "area")):
+    return [FrontPoint(label=f"p{i}", objectives=tuple(objectives),
+                       values=tuple(float(v) for v in vector))
+            for i, vector in enumerate(vectors)]
+
+
+def random_points(rng, count, dims):
+    return make_points(
+        [[rng.uniform(0.0, 100.0) for _ in range(dims)] for _ in range(count)],
+        objectives=tuple(f"o{d}" for d in range(dims))
+        if dims != 2 else ("latency_steps", "area"),
+    )
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        assert dominates((1.0, 1.0), (2.0, 2.0))
+        assert dominates((1.0, 2.0), (1.0, 3.0))
+        assert not dominates((1.0, 2.0), (1.0, 2.0))  # equality: no
+        assert not dominates((1.0, 3.0), (2.0, 2.0))  # incomparable
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ReproError):
+            dominates((1.0,), (1.0, 2.0))
+
+    def test_epsilon_dominance_additive_and_relative(self):
+        assert epsilon_dominates((11.0, 5.0), (10.0, 5.0), 1.0)
+        assert not epsilon_dominates((11.1, 5.0), (10.0, 5.0), 1.0)
+        assert epsilon_dominates((108.0, 5.0), (100.0, 5.0), ("rel", 0.08))
+        assert not epsilon_dominates((109.0, 5.0), (100.0, 5.0), ("rel", 0.08))
+
+    def test_epsilon_per_objective_specs(self):
+        eps = (2.0, ("rel", 0.10))
+        assert epsilon_dominates((12.0, 110.0), (10.0, 100.0), eps)
+        assert not epsilon_dominates((12.1, 110.0), (10.0, 100.0), eps)
+        assert not epsilon_dominates((12.0, 110.1), (10.0, 100.0), eps)
+        with pytest.raises(ReproError):
+            epsilon_dominates((1.0, 2.0), (1.0, 2.0), (1.0, 2.0, 3.0))
+
+    def test_point_epsilon_dominates_itself(self):
+        assert epsilon_dominates((3.0, 4.0), (3.0, 4.0), 0.0)
+
+
+@pytest.mark.parametrize("seed", range(12))
+@pytest.mark.parametrize("dims", [2, 3])
+def test_front_invariants(seed, dims):
+    """The front is a subset, contains no dominated point, and every
+    excluded point is dominated by (or duplicates) a front member."""
+    rng = random.Random(seed)
+    points = random_points(rng, rng.randint(1, 40), dims)
+    front = pareto_front(points)
+
+    assert front  # a non-empty set always has a non-dominated member
+    assert set(id(p) for p in front) <= set(id(p) for p in points)
+    for a, b in itertools.permutations(front, 2):
+        assert not dominates(a.values, b.values)
+        assert a.values != b.values
+    front_vectors = {p.values for p in front}
+    for point in points:
+        if point.values in front_vectors:
+            continue
+        assert any(dominates(f.values, point.values) for f in front)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_front_is_idempotent_and_order_preserving(seed):
+    rng = random.Random(seed)
+    points = random_points(rng, 25, 2)
+    front = pareto_front(points)
+    assert pareto_front(front) == front
+    order = [id(p) for p in points]
+    assert [id(p) for p in front] == sorted((id(p) for p in front),
+                                            key=order.index)
+
+
+def test_front_keeps_first_of_exact_duplicates():
+    points = make_points([[1, 2], [1, 2], [3, 1]])
+    front = pareto_front(points)
+    assert [p.label for p in front] == ["p0", "p2"]
+
+
+class TestHypervolume:
+    def test_known_2d_volume(self):
+        points = make_points([[1.0, 2.0], [2.0, 1.0]])
+        # Boxes to (3,3): 2x1 + 1x2 minus 1x1 overlap = 3.
+        assert hypervolume(points, (3.0, 3.0)) == pytest.approx(3.0)
+
+    def test_point_outside_reference_contributes_nothing(self):
+        points = make_points([[5.0, 5.0]])
+        assert hypervolume(points, (3.0, 3.0)) == 0.0
+        assert hypervolume([], (3.0, 3.0)) == 0.0
+
+    def test_known_3d_volume(self):
+        points = make_points([[0.0, 0.0, 0.0]], objectives=("o0", "o1", "o2"))
+        assert hypervolume(points, (2.0, 3.0, 4.0)) == pytest.approx(24.0)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_monotone_under_adding_points(self, seed):
+        rng = random.Random(100 + seed)
+        points = random_points(rng, 20, 2)
+        reference = reference_point(points)
+        for cut in (5, 10, 20):
+            smaller = hypervolume(points[:cut - 1], reference)
+            larger = hypervolume(points[:cut], reference)
+            assert larger >= smaller - 1e-9
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_front_has_same_volume_as_full_set(self, seed):
+        rng = random.Random(200 + seed)
+        points = random_points(rng, 30, 3)
+        reference = reference_point(points)
+        assert hypervolume(points, reference) == pytest.approx(
+            hypervolume(pareto_front(points), reference))
+
+
+class TestKnee:
+    def test_knee_of_convex_2d_front_is_the_bend(self):
+        front = make_points([[0.0, 10.0], [1.0, 2.0], [10.0, 0.0]])
+        assert knee_point(front).label == "p1"
+
+    def test_single_point_front(self):
+        front = make_points([[1.0, 1.0]])
+        assert knee_point(front) is front[0]
+
+    def test_empty_front_raises(self):
+        with pytest.raises(ReproError):
+            knee_point([])
+
+    def test_higher_dimensional_fallback_is_deterministic(self):
+        front = make_points([[0, 10, 5], [2, 2, 2], [10, 0, 5]],
+                            objectives=("o0", "o1", "o2"))
+        assert knee_point(front).label == "p1"
+
+
+class TestCoverage:
+    def test_identical_sets_fully_cover(self):
+        points = make_points([[1, 5], [5, 1]])
+        assert coverage(points, points, 0.0) == 1.0
+
+    def test_empty_covered_set_is_vacuously_covered(self):
+        assert coverage([], [], 0.0) == 1.0
+        assert coverage(make_points([[1, 1]]), [], 0.0) == 1.0
+
+    def test_partial_coverage_fraction(self):
+        covering = make_points([[1.0, 5.0]])
+        covered = make_points([[1.0, 5.0], [0.5, 0.5]])
+        assert coverage(covering, covered, 0.0) == pytest.approx(0.5)
+
+
+class TestObjectiveExtraction:
+    METRICS = {
+        "point": {"name": "D1", "latency": 8, "pipeline_ii": None,
+                  "clock_period": 1500.0},
+        "conventional": {"area": 200.0, "power": 2.0, "throughput": 0.1,
+                         "latency_steps": 8, "meets_timing": True,
+                         "fu_instances": 4, "registers": 9},
+        "slack_based": {"area": 150.0, "power": 1.5, "throughput": 0.1,
+                        "latency_steps": 8, "meets_timing": True,
+                        "fu_instances": 3, "registers": 9},
+        "saving_percent": 25.0,
+    }
+
+    def test_min_objectives_enter_unchanged(self):
+        assert objective_vector(self.METRICS, ("latency_steps", "area")) \
+            == (8.0, 150.0)
+
+    def test_max_objectives_are_negated(self):
+        vector = objective_vector(self.METRICS,
+                                  ("throughput", "saving_percent"))
+        assert vector == (-0.1, -25.0)
+
+    def test_flow_selection(self):
+        assert objective_vector(self.METRICS, ("area",),
+                                flow="conventional") == (200.0,)
+
+    def test_unknown_objective_raises(self):
+        with pytest.raises(ReproError):
+            objective_vector(self.METRICS, ("frobnication",))
+
+    def test_missing_objective_raises(self):
+        with pytest.raises(ReproError):
+            objective_vector({"slack_based": {}}, ("area",))
+
+    def test_front_from_metrics_raw_values_round_trip(self):
+        [point] = front_from_metrics([self.METRICS],
+                                     ("throughput", "area"))
+        assert point.label == "D1"
+        assert point.raw_value("throughput") == pytest.approx(0.1)
+        assert point.raw_value("area") == pytest.approx(150.0)

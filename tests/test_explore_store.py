@@ -1,0 +1,159 @@
+"""Tests of the persistent JSONL result store."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.explore.store import ResultStore, StoreKey, key_for, open_store
+from repro.flows.dse import DesignPoint, run_dse, latency_grid
+from repro.workloads import KernelPointFactory
+
+FIR = KernelPointFactory("fir", params=(("taps", 4),))
+
+
+def make_key(fingerprint="f" * 8, clock=1500.0, ii=None, margin=0.05):
+    return StoreKey(fingerprint=fingerprint, clock_period=clock,
+                    pipeline_ii=ii, margin_fraction=margin)
+
+
+def metrics_record(name="P1", latency=8, area=100.0):
+    return {
+        "point": {"name": name, "latency": latency, "pipeline_ii": None,
+                  "clock_period": 1500.0},
+        "slack_based": {"area": area, "power": 1.0, "throughput": 0.1,
+                        "latency_steps": latency, "meets_timing": True,
+                        "fu_instances": 1, "registers": 1},
+        "conventional": {"area": area * 1.2, "power": 1.2, "throughput": 0.1,
+                         "latency_steps": latency, "meets_timing": True,
+                         "fu_instances": 1, "registers": 1},
+        "saving_percent": 16.7,
+    }
+
+
+class TestRoundTrip:
+    def test_put_get_and_reload(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        store = ResultStore(path)
+        key = make_key()
+        store.put(key, metrics_record(), workload="fir")
+        assert key in store
+        assert store.get_metrics(key)["saving_percent"] == 16.7
+
+        reloaded = ResultStore(path)
+        assert len(reloaded) == 1
+        assert reloaded.get_metrics(key) == store.get_metrics(key)
+        assert reloaded.get(key)["workload"] == "fir"
+        assert reloaded.get(key)["point"]["name"] == "P1"
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        store = ResultStore(str(tmp_path / "absent.jsonl"))
+        assert len(store) == 0
+        assert store.get(make_key()) is None
+
+    def test_in_memory_store_has_same_semantics(self):
+        store = ResultStore(None)
+        key = make_key()
+        store.put(key, metrics_record())
+        assert store.get_metrics(key)["saving_percent"] == 16.7
+
+    def test_last_record_wins_on_duplicate_keys(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        store = ResultStore(path)
+        key = make_key()
+        store.put(key, metrics_record(area=100.0))
+        store.put(key, metrics_record(area=200.0))
+        assert store.get_metrics(key)["slack_based"]["area"] == 200.0
+        # Both lines are on disk (append-only), the later one wins on load.
+        with open(path) as handle:
+            assert len(handle.readlines()) == 2
+        assert ResultStore(path).get_metrics(key)["slack_based"]["area"] == 200.0
+
+    def test_keys_distinguish_clock_ii_margin_and_fingerprint(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store.jsonl"))
+        base = make_key()
+        store.put(base, metrics_record())
+        for other in (make_key(clock=2000.0), make_key(ii=4),
+                      make_key(margin=0.1), make_key(fingerprint="g" * 8)):
+            assert other not in store
+
+
+class TestRobustness:
+    def test_corrupt_and_foreign_lines_are_skipped(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        store = ResultStore(path)
+        key = make_key()
+        store.put(key, metrics_record())
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("{not json\n")
+            handle.write("\n")
+            handle.write(json.dumps({"schema": 999, "key": {}, "metrics": {}}) + "\n")
+            handle.write(json.dumps({"schema": 1, "key": {"fingerprint": "x"},
+                                     "metrics": {}}) + "\n")  # incomplete key
+            handle.write('"just a string"\n')
+        reloaded = ResultStore(path)
+        assert len(reloaded) == 1
+        assert reloaded.skipped_lines == 4
+        assert reloaded.get_metrics(key) is not None
+
+    def test_truncated_trailing_line_is_skipped(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        store = ResultStore(path)
+        store.put(make_key(), metrics_record())
+        line = json.dumps({"schema": 1,
+                           "key": make_key(fingerprint="h" * 8).as_dict(),
+                           "metrics": metrics_record()})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(line[:len(line) // 2])  # simulated crash mid-write
+        reloaded = ResultStore(path)
+        assert len(reloaded) == 1
+        assert reloaded.skipped_lines == 1
+
+    def test_directory_path_raises(self, tmp_path):
+        with pytest.raises(ReproError):
+            open_store(str(tmp_path))
+
+
+class TestDSEResultImportExport:
+    def test_round_trip_through_a_real_sweep(self, library, tmp_path):
+        points = latency_grid(4, 6, prefix="fir_L")
+        result = run_dse(FIR, library, points)
+        path = str(tmp_path / "store.jsonl")
+        store = ResultStore(path)
+        count = store.import_dse_result(result, FIR, workload="fir")
+        assert count == 3
+
+        exported = ResultStore(path).export_metrics(workload="fir")
+        assert sorted(m["point"]["name"] for m in exported) \
+            == [p.name for p in points]
+        assert exported[0]["slack_based"]["area"] > 0
+        # The export is exactly the sweep's own metrics list.
+        by_name = {m["point"]["name"]: m for m in exported}
+        for entry in result.entries:
+            assert by_name[entry.point.name] == entry.metrics()
+
+    def test_precomputed_for_feeds_the_engine_restore(self, library, tmp_path):
+        from repro.flows.engine import DSEEngine
+
+        points = latency_grid(4, 6, prefix="fir_L")
+        result = run_dse(FIR, library, points)
+        store = ResultStore(str(tmp_path / "store.jsonl"))
+        store.import_dse_result(result, FIR, workload="fir")
+
+        keyed = [(p.name, key_for(FIR(p), p, 0.05)) for p in points]
+        precomputed = store.precomputed_for(keyed)
+        assert set(precomputed) == {p.name for p in points}
+
+        engine = DSEEngine(FIR, library, points, executor="serial",
+                           precomputed=precomputed)
+        engine_result = engine.run()
+        assert all(o.status == "restored" for o in engine_result.outcomes)
+        assert engine_result.metrics() == [e.metrics() for e in result.entries]
+
+    def test_workload_filtering(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store.jsonl"))
+        store.put(make_key(fingerprint="a" * 8), metrics_record(), workload="w1")
+        store.put(make_key(fingerprint="b" * 8), metrics_record(), workload="w2")
+        assert store.workloads() == ["w1", "w2"]
+        assert len(store.metrics("w1")) == 1
+        assert len(store.metrics()) == 2

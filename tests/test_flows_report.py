@@ -1,0 +1,158 @@
+"""Tests for the report formatters (previously untested).
+
+Regression focus: the formatters used to crash on empty row sets
+(``table4_rows`` raised through ``average_saving_percent``) and leaked
+``nan``/``inf`` strings into tables when a failed design point produced
+non-finite metrics.  Both are now guarded.
+"""
+
+import math
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import ReproError
+from repro.flows.dse import DSEResult
+from repro.flows.report import (
+    fmt_metric,
+    format_markdown_table,
+    format_table,
+    table4_rows,
+    table5_rows,
+)
+
+
+def fake_entry(name="D1", latency=8, pipeline_ii=None,
+               area_conventional=100.0, area_slack=90.0, saving=10.0):
+    return SimpleNamespace(
+        point=SimpleNamespace(name=name, latency=latency,
+                              pipeline_ii=pipeline_ii),
+        area_conventional=area_conventional,
+        area_slack=area_slack,
+        saving_percent=saving,
+    )
+
+
+class TestFmtMetric:
+    def test_finite_value_uses_spec(self):
+        assert fmt_metric(1234.567, ".1f") == "1234.6"
+        assert fmt_metric(7, ".0f") == "7"
+
+    @pytest.mark.parametrize("value", [float("nan"), float("inf"),
+                                       float("-inf")])
+    def test_non_finite_renders_placeholder(self, value):
+        assert fmt_metric(value) == "n/a"
+
+    @pytest.mark.parametrize("value", [None, "not-a-number", object()])
+    def test_non_numeric_renders_placeholder(self, value):
+        assert fmt_metric(value) == "n/a"
+
+    def test_numeric_strings_are_accepted(self):
+        assert fmt_metric("3.25", ".2f") == "3.25"
+
+
+class TestFormatTable:
+    def test_empty_rows_render_header_and_separator_only(self):
+        text = format_table(["a", "bb"], [])
+        lines = text.splitlines()
+        assert lines == ["a  bb", "-  --"]
+
+    def test_fully_empty_table_does_not_crash(self):
+        assert format_table([], []) == "\n"
+        assert format_table([], [], title="t").startswith("t")
+
+    def test_ragged_rows_are_padded_and_widened(self):
+        text = format_table(["a", "b"], [["1"], ["1", "2", "3"]])
+        lines = text.splitlines()
+        # All lines align to three columns; no IndexError, no overflow.
+        assert len(lines) == 4
+        assert lines[2].startswith("1")
+        assert "3" in lines[3]
+
+    def test_title_is_first_line(self):
+        assert format_table(["x"], [["1"]], title="T").splitlines()[0] == "T"
+
+
+class TestFormatMarkdownTable:
+    def test_shape(self):
+        text = format_markdown_table(["a", "b"], [["1", "2"]])
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("| a")
+        assert set(lines[1]) <= {"|", " ", "-"}
+        assert lines[2].startswith("| 1")
+
+    def test_empty_inputs(self):
+        assert format_markdown_table([], []) == ""
+        assert format_markdown_table(["a"], []).count("\n") == 1
+
+
+class TestTable4Rows:
+    def test_empty_sweep_renders_without_average_row(self):
+        header, rows = table4_rows(DSEResult())
+        assert header[0] == "Des"
+        assert rows == []
+        # And the renderer accepts it.
+        assert "Des" in format_table(header, rows)
+
+    def test_non_finite_areas_render_as_placeholder(self):
+        result = DSEResult()
+        result.entries = [
+            fake_entry(area_conventional=float("nan"),
+                       area_slack=float("inf"),
+                       saving=float("nan")),
+            fake_entry(name="D2", area_conventional=200.0, area_slack=150.0,
+                       saving=25.0),
+        ]
+        _, rows = table4_rows(result)
+        assert rows[0][3:] == ["n/a", "n/a", "n/a"]
+        assert rows[1][3:] == ["200", "150", "25.0"]
+        # The average over a nan entry is nan -> placeholder, not a crash.
+        assert rows[-1][0] == "Average"
+        assert rows[-1][-1] == "n/a"
+
+    def test_average_row_present_for_non_empty_sweep(self):
+        result = DSEResult()
+        result.entries = [fake_entry(saving=10.0), fake_entry("D2", saving=20.0)]
+        _, rows = table4_rows(result)
+        assert rows[-1] == ["Average", "", "", "", "", "15.0"]
+
+
+class TestTable5Rows:
+    def test_valid_baseline_renders_ratios(self):
+        _, rows = table5_rows(2.0, 3.0, 5.0)
+        assert rows == [["1.00", "1.50", "2.50"]]
+
+    def test_zero_baseline_falls_back_to_absolute_seconds(self):
+        _, rows = table5_rows(0.0, 2.0, 3.0)
+        assert rows == [["0.00", "2.00", "3.00"]]
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_non_finite_baseline_is_not_disguised_as_a_ratio(self, bad):
+        _, rows = table5_rows(bad, 2.0, 3.0)
+        assert rows == [["n/a", "2.00", "3.00"]]
+
+    def test_negative_baseline_shows_its_absolute_value(self):
+        _, rows = table5_rows(-1.0, 2.0, 3.0)
+        assert rows == [["-1.00", "2.00", "3.00"]]
+
+    def test_non_finite_measurements_render_placeholder(self):
+        _, rows = table5_rows(1.0, float("nan"), float("inf"))
+        assert rows == [["1.00", "n/a", "n/a"]]
+
+
+def test_dse_result_range_methods_still_raise_loudly():
+    """The report guards must not swallow the sweep-level invariants."""
+    with pytest.raises(ReproError):
+        DSEResult().average_saving_percent()
+    with pytest.raises(ReproError):
+        DSEResult().area_range()
+
+
+def test_fmt_metric_round_trip_in_table4():
+    result = DSEResult()
+    result.entries = [fake_entry()]
+    header, rows = table4_rows(result)
+    text = format_table(header, rows, title="Table 4")
+    assert "nan" not in text
+    assert math.isfinite(float(rows[0][3]))
