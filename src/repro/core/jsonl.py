@@ -1,0 +1,90 @@
+"""Shared mechanics of the append-only JSONL record stores.
+
+Both persistent stores in the repo — the exploration layer's
+:class:`repro.explore.store.ResultStore` and the verification layer's
+:class:`repro.verify.corpus.Corpus` — speak the same dialect: one JSON
+object per line written with ``sort_keys`` (so identical records are
+byte-identical), appends flushed line by line (a crashed writer loses at
+most its unfinished line), and a loader that tolerates missing files, blank
+lines, corrupt lines and unrecognised records by *skipping* them, never by
+failing.  This module is that dialect, factored out so a robustness fix
+lands in both stores at once; the keying policy (what identifies a record,
+which record wins) stays with each store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Callable, Dict, Iterable, List, Tuple
+
+
+def dump_record(record: Dict[str, object]) -> str:
+    """The canonical one-line serialisation (sorted keys, byte-stable)."""
+    return json.dumps(record, sort_keys=True)
+
+
+def load_records(
+    path: str,
+    accept: Callable[[Dict[str, object]], bool],
+) -> Tuple[List[Dict[str, object]], int]:
+    """Parse a JSONL file into ``(accepted_records, skipped_line_count)``.
+
+    A missing file is an empty store.  Blank lines are ignored outright;
+    lines that fail to parse, parse to a non-dict, or are rejected by
+    ``accept`` (schema/shape validation) count as skipped.  ``accept`` may
+    also raise ``KeyError``/``TypeError``/``ValueError`` for malformed
+    records — treated as a rejection, not an error.
+    """
+    records: List[Dict[str, object]] = []
+    skipped = 0
+    if not os.path.exists(path):
+        return records, skipped
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                skipped += 1
+                continue
+            if not isinstance(record, dict):
+                skipped += 1
+                continue
+            try:
+                ok = accept(record)
+            except (KeyError, TypeError, ValueError):
+                ok = False
+            if ok:
+                records.append(record)
+            else:
+                skipped += 1
+    return records, skipped
+
+
+def append_record(path: str, record: Dict[str, object]) -> None:
+    """Append one record (parent directories created, line flushed)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(dump_record(record) + "\n")
+        handle.flush()
+
+
+def rewrite_records(path: str,
+                    records: Iterable[Dict[str, object]]) -> int:
+    """Write every record once, in order; returns the count.
+
+    The canonical serialisation makes compaction reproducible: rewriting
+    the same records twice produces byte-identical files.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(dump_record(record) + "\n")
+            count += 1
+    return count

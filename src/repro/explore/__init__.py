@@ -27,6 +27,7 @@ from repro.explore.pareto import (
     dominates,
     epsilon_dominates,
     front_from_metrics,
+    front_invariant_violations,
     hypervolume,
     knee_point,
     objective_vector,
@@ -61,6 +62,7 @@ __all__ = [
     "dominates",
     "epsilon_dominates",
     "front_from_metrics",
+    "front_invariant_violations",
     "hypervolume",
     "knee_point",
     "objective_vector",

@@ -228,6 +228,89 @@ def coverage(
     return hit / len(covered)
 
 
+def front_invariant_violations(
+    points: Sequence[FrontPoint],
+    front: Optional[Sequence[FrontPoint]] = None,
+) -> List[str]:
+    """Check the defining invariants of a Pareto front; return violations.
+
+    ``front`` defaults to ``pareto_front(points)``; passing an explicitly
+    computed front instead checks that *that* front is the correct one for
+    ``points``.  The invariants (each failure contributes one message):
+
+    * **membership** — every front vector occurs among the input vectors;
+    * **antichain** — no front member dominates another and no two front
+      members share a vector;
+    * **completeness** — every input point is either on the front (by
+      vector) or dominated by some front member;
+    * **coverage** — ``coverage(front, points, 0)`` is exactly 1.0;
+    * **hypervolume consistency** — the front dominates exactly the volume
+      the full set dominates (w.r.t. :func:`reference_point` of the inputs);
+    * **knee membership** — :func:`knee_point` of the front is a member.
+
+    An empty ``points`` yields an empty front and no violations.  This is
+    the front-invariant oracle of the differential-fuzzing layer
+    (:mod:`repro.verify.oracles`), usable on any generated front.
+    """
+    points = list(points)
+    front = list(pareto_front(points)) if front is None else list(front)
+    violations: List[str] = []
+    if not points:
+        if front:
+            violations.append(
+                f"front has {len(front)} member(s) for an empty point set")
+        return violations
+
+    vectors = {p.values for p in points}
+    for member in front:
+        if member.values not in vectors:
+            violations.append(
+                f"front member {member.label} ({member.values}) is not an "
+                "input point")
+
+    seen: Dict[Tuple[float, ...], str] = {}
+    for member in front:
+        if member.values in seen:
+            violations.append(
+                f"front members {seen[member.values]} and {member.label} "
+                f"share the vector {member.values}")
+        seen[member.values] = member.label
+    for a in front:
+        for b in front:
+            if a is not b and dominates(a.values, b.values):
+                violations.append(
+                    f"front member {a.label} dominates front member {b.label}")
+
+    front_vectors = {m.values for m in front}
+    for point in points:
+        if point.values in front_vectors:
+            continue
+        if not any(dominates(m.values, point.values) or m.values == point.values
+                   for m in front):
+            violations.append(
+                f"point {point.label} ({point.values}) is neither on the "
+                "front nor dominated by it")
+
+    if front:
+        cover = coverage(front, points, 0.0)
+        if cover != 1.0:
+            violations.append(
+                f"front covers only {cover:.6f} of the input points")
+        reference = reference_point(points)
+        hv_front = hypervolume(front, reference)
+        hv_all = hypervolume(points, reference)
+        if not math.isclose(hv_front, hv_all, rel_tol=1e-9, abs_tol=1e-9):
+            violations.append(
+                f"front hypervolume {hv_front!r} != full-set hypervolume "
+                f"{hv_all!r}")
+        knee = knee_point(front)
+        if all(knee is not member for member in front):
+            violations.append(f"knee point {knee.label} is not a front member")
+    elif points:
+        violations.append(f"empty front for {len(points)} input point(s)")
+    return violations
+
+
 def _hv_recursive(values: List[Tuple[float, ...]], reference: Tuple[float, ...]) -> float:
     """Exact dominated hypervolume by recursive slicing over the last axis."""
     if not values:

@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.core.analysis_cache import design_fingerprint
+from repro.core.jsonl import append_record, load_records
 from repro.errors import ReproError
 
 SCHEMA_VERSION = 1
@@ -106,31 +107,21 @@ class ResultStore:
 
     # -- loading -----------------------------------------------------------------
 
+    @staticmethod
+    def _accept(record: Dict[str, object]) -> bool:
+        return (record.get("schema") == SCHEMA_VERSION
+                and isinstance(record.get("key"), dict)
+                and isinstance(record.get("metrics"), dict))
+
     def _load(self, path: str) -> None:
-        if not os.path.exists(path):
-            return
-        with open(path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except ValueError:
-                    self.skipped_lines += 1
-                    continue
-                if (not isinstance(record, dict)
-                        or record.get("schema") != SCHEMA_VERSION
-                        or not isinstance(record.get("key"), dict)
-                        or not isinstance(record.get("metrics"), dict)):
-                    self.skipped_lines += 1
-                    continue
-                try:
-                    key = StoreKey.from_dict(record["key"])
-                except (KeyError, TypeError, ValueError):
-                    self.skipped_lines += 1
-                    continue
-                self._records[key] = record
+        records, self.skipped_lines = load_records(path, self._accept)
+        for record in records:
+            try:
+                key = StoreKey.from_dict(record["key"])
+            except (KeyError, TypeError, ValueError):
+                self.skipped_lines += 1
+                continue
+            self._records[key] = record
 
     # -- queries -----------------------------------------------------------------
 
@@ -184,11 +175,7 @@ class ResultStore:
             "metrics": json.loads(json.dumps(metrics)),
         }
         if self.path is not None:
-            directory = os.path.dirname(os.path.abspath(self.path))
-            os.makedirs(directory, exist_ok=True)
-            with open(self.path, "a", encoding="utf-8") as handle:
-                handle.write(json.dumps(record, sort_keys=True) + "\n")
-                handle.flush()
+            append_record(self.path, record)
         self._records[key] = record
         return record
 

@@ -204,6 +204,7 @@ def evaluate_point(
     library: Library,
     point: DesignPoint,
     margin_fraction: float = 0.05,
+    use_cache: bool = True,
 ) -> DSEEntry:
     """Run both flows on one design point and return its :class:`DSEEntry`.
 
@@ -213,13 +214,18 @@ def evaluate_point(
     parallel :class:`repro.flows.engine.DSEEngine` workers, which is what
     guarantees that serial and parallel sweeps agree bit for bit.
 
-    Artifacts resolve through the process-wide analysis cache
-    (:meth:`PointArtifacts.of`), so sweep points that rebuild a structurally
-    identical design — the same latency at a different clock period or
-    initiation interval — share one bundle per process.
+    With ``use_cache`` (the default) artifacts resolve through the
+    process-wide analysis cache (:meth:`PointArtifacts.of`), so sweep points
+    that rebuild a structurally identical design — the same latency at a
+    different clock period or initiation interval — share one bundle per
+    process.  ``use_cache=False`` computes a fresh, private bundle instead
+    (:meth:`PointArtifacts.build`); the cache contract says both paths are
+    bit-for-bit identical, which is exactly what the pipeline-cache oracle
+    of :mod:`repro.verify.oracles` checks on generated scenarios.
     """
     design = design_factory(point)
-    artifacts = PointArtifacts.of(design)
+    artifacts = PointArtifacts.of(design) if use_cache \
+        else PointArtifacts.build(design)
     conventional = conventional_flow(
         design, library, clock_period=point.clock_period,
         pipeline_ii=point.pipeline_ii, artifacts=artifacts,

@@ -132,11 +132,12 @@ class EngineResult:
 
 def _evaluate_payload(payload):
     """Process-pool entry point: evaluate one design point, never raise."""
-    index, factory, library, point, margin_fraction = payload
+    index, factory, library, point, margin_fraction, use_cache = payload
     start = time.perf_counter()
     try:
         entry = evaluate_point(factory, library, point,
-                               margin_fraction=margin_fraction)
+                               margin_fraction=margin_fraction,
+                               use_cache=use_cache)
         return (index, "ok", entry, None, None, time.perf_counter() - start)
     except Exception as exc:  # noqa: BLE001 — per-point isolation is the point
         return (index, "error", None, f"{type(exc).__name__}: {exc}",
@@ -181,6 +182,13 @@ class DSEEngine:
         sufficient).
     progress:
         Optional callable receiving a :class:`ProgressEvent` per point.
+    use_analysis_cache:
+        Forwarded to :func:`repro.flows.dse.evaluate_point` as ``use_cache``
+        (default True).  ``False`` makes every point compute a private
+        artifact bundle instead of sharing the process-wide analysis cache —
+        slower, but a bit-for-bit-equal execution mode by the cache
+        contract.  The differential fuzzing layer (:mod:`repro.verify`)
+        sweeps scenarios in both modes and asserts metric equality.
     """
 
     def __init__(
@@ -194,6 +202,7 @@ class DSEEngine:
         checkpoint_path: Optional[str] = None,
         precomputed: Optional[Dict[str, Dict[str, object]]] = None,
         progress: Optional[Callable[[ProgressEvent], None]] = None,
+        use_analysis_cache: bool = True,
     ):
         if executor not in ("auto", "process", "thread", "serial"):
             raise ReproError(f"unknown executor {executor!r}")
@@ -209,6 +218,7 @@ class DSEEngine:
         self.checkpoint_path = checkpoint_path
         self.precomputed = dict(precomputed) if precomputed else {}
         self.progress = progress
+        self.use_analysis_cache = use_analysis_cache
 
     # -- checkpointing -----------------------------------------------------------
 
@@ -382,7 +392,7 @@ class DSEEngine:
 
         def payload(index: int, point: DesignPoint):
             return (index, self.design_factory, self.library, point,
-                    self.margin_fraction)
+                    self.margin_fraction, self.use_analysis_cache)
 
         if mode == "serial" or not pending:
             for index, point in pending:

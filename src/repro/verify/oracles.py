@@ -1,0 +1,333 @@
+"""Differential oracles over pairs of independently-implemented engines.
+
+Every oracle wraps one of the repo's "two implementations must agree"
+equivalences and checks it on a generated :class:`~repro.verify.scenarios.ScenarioSpec`:
+
+==============================  ==================================================
+oracle                          equivalence under test
+==============================  ==================================================
+``area-recovery``               incremental :func:`repro.rtl.area_recovery.recover_area`
+                                vs. the full-recompute
+                                :func:`~repro.rtl.area_recovery.recover_area_reference`
+                                (downgrades, areas, final state timing)
+``sequential-slack``            Bellman-Ford constraint-graph relaxation vs. the
+                                linear topological sweep, aligned and plain
+``executor-modes``              serial vs. thread :class:`repro.flows.engine.DSEEngine`
+                                sweeps produce identical per-point metrics/errors
+``pipeline-cache``              :func:`repro.flows.dse.evaluate_point` with the
+                                process-wide analysis cache vs. a private bundle
+``pareto-front``                :func:`repro.explore.pareto.front_invariant_violations`
+                                on a scenario-seeded generated front
+==============================  ==================================================
+
+Failure semantics: a scenario on which *both* sides fail with the same
+:class:`~repro.errors.ReproError` type and message is an **agreement** (the
+design is legitimately infeasible and both engines said so identically); one
+side failing, differing messages, or any non-``ReproError`` exception is a
+violation.  Oracles never raise — the fuzz runner treats an escaped
+exception as a harness bug, not a finding.
+
+Adding an oracle: write ``def check(spec, library) -> str`` returning an
+empty string on agreement and a human-readable violation otherwise, then
+decorate it with :func:`oracle`.  The registry drives the CLI, the runner
+and the docs table.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.flows.conventional import conventional_flow
+from repro.flows.dse import DSEEntry, evaluate_point
+from repro.flows.engine import DSEEngine
+from repro.flows.pipeline import PointArtifacts
+from repro.lib.library import Library
+from repro.lib.tsmc90 import tsmc90_library
+from repro.core.bellman_ford import compute_sequential_slack_bellman_ford
+from repro.core.sequential_slack import compute_sequential_slack
+from repro.explore.pareto import FrontPoint, front_invariant_violations
+from repro.ir.operations import OpKind
+from repro.rtl.area_recovery import recover_area, recover_area_reference
+from repro.rtl.incremental_timing import IncrementalStateTiming
+from repro.rtl.timing import analyze_state_timing
+from repro.verify.scenarios import ScenarioSpec
+
+_ABS_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class OracleOutcome:
+    """The verdict of one oracle on one scenario."""
+
+    oracle: str
+    ok: bool
+    details: str = ""
+
+
+@dataclass(frozen=True)
+class Oracle:
+    """A named differential oracle."""
+
+    name: str
+    description: str
+    check: Callable[[ScenarioSpec, Library], str]
+
+    def run(self, spec: ScenarioSpec, library: Optional[Library] = None,
+            ) -> OracleOutcome:
+        library = library if library is not None else default_library()
+        details = self.check(spec, library)
+        return OracleOutcome(oracle=self.name, ok=not details, details=details)
+
+
+#: The oracle registry, in registration order (drives round-robin scheduling).
+ORACLES: Dict[str, Oracle] = {}
+
+_library_singleton: Optional[Library] = None
+
+
+def default_library() -> Library:
+    """The shared deterministic library all oracles evaluate against."""
+    global _library_singleton
+    if _library_singleton is None:
+        _library_singleton = tsmc90_library()
+    return _library_singleton
+
+
+def oracle(name: str, description: str):
+    """Register a differential oracle under ``name``."""
+
+    def register(check: Callable[[ScenarioSpec, Library], str]) -> Oracle:
+        if name in ORACLES:
+            raise ReproError(f"duplicate oracle name {name!r}")
+        entry = Oracle(name=name, description=description, check=check)
+        ORACLES[name] = entry
+        return entry
+
+    return register
+
+
+def select_oracles(names: Optional[List[str]] = None) -> List[Oracle]:
+    """Resolve oracle names (``None`` = all, in registration order)."""
+    if not names:
+        return list(ORACLES.values())
+    missing = [name for name in names if name not in ORACLES]
+    if missing:
+        raise ReproError(
+            f"unknown oracle(s) {missing}; registered: {sorted(ORACLES)}")
+    return [ORACLES[name] for name in names]
+
+
+# -- differential plumbing ---------------------------------------------------------
+
+
+def _run_side(fn: Callable[[], object]) -> Tuple[object, Optional[str]]:
+    """Run one side of a differential pair; errors become comparable strings."""
+    try:
+        return fn(), None
+    except ReproError as exc:
+        return None, f"{type(exc).__name__}: {exc}"
+
+
+def _compare_failures(name_a: str, error_a: Optional[str],
+                      name_b: str, error_b: Optional[str]) -> Optional[str]:
+    """Arbitrate a failed side: None = proceed to value comparison.
+
+    Equal failures on both sides are agreement (empty violation string);
+    asymmetric failures are a violation.
+    """
+    if error_a is None and error_b is None:
+        return None
+    if error_a == error_b:
+        return ""
+    return (f"{name_a} and {name_b} disagree on feasibility: "
+            f"{name_a}={error_a or 'ok'!s}, {name_b}={error_b or 'ok'!s}")
+
+
+def _entry_metrics_json(entry: DSEEntry) -> str:
+    return json.dumps(entry.metrics(), sort_keys=True)
+
+
+# -- oracle: incremental vs reference area recovery --------------------------------
+
+
+@oracle("area-recovery",
+        "incremental recover_area == recover_area_reference "
+        "(downgrades, areas, final state timing)")
+def _check_area_recovery(spec: ScenarioSpec, library: Library) -> str:
+    design = spec.design()
+
+    def fresh_datapath():
+        flow = conventional_flow(
+            design, library, clock_period=spec.clock_period,
+            pipeline_ii=spec.pipeline_ii, area_recovery=False,
+            artifacts=PointArtifacts.build(design),
+        )
+        return flow.datapath
+
+    built_a, error_a = _run_side(fresh_datapath)
+    built_b, error_b = _run_side(fresh_datapath)
+    verdict = _compare_failures("flow-run-1", error_a, "flow-run-2", error_b)
+    if verdict is not None:
+        return verdict
+
+    reference = recover_area_reference(built_a)
+    incremental = recover_area(built_b)
+    problems: List[str] = []
+    if incremental.downgrades != reference.downgrades:
+        problems.append(f"downgrades {incremental.downgrades} != "
+                        f"{reference.downgrades}")
+    if incremental.area_after != reference.area_after:
+        problems.append(f"area_after {incremental.area_after!r} != "
+                        f"{reference.area_after!r}")
+    if set(incremental.changed_instances) != set(reference.changed_instances):
+        problems.append(
+            f"changed instances {sorted(incremental.changed_instances)} != "
+            f"{sorted(reference.changed_instances)}")
+    timing_ref = analyze_state_timing(built_a)
+    timing_inc = IncrementalStateTiming(built_b).report
+    if timing_inc.op_slack != timing_ref.op_slack \
+            or timing_inc.state_critical_path != timing_ref.state_critical_path:
+        problems.append("final state-timing reports differ")
+    return "; ".join(problems)
+
+
+# -- oracle: Bellman-Ford vs topological sequential slack --------------------------
+
+
+@oracle("sequential-slack",
+        "Bellman-Ford relaxation == topological sweep "
+        "(arrival/required/slack, aligned and plain)")
+def _check_sequential_slack(spec: ScenarioSpec, library: Library) -> str:
+    design = spec.design()
+    artifacts = PointArtifacts.build(design)
+    delays = {
+        op.name: library.operation_delay(op, library.fastest_variant(op))
+        for op in design.dfg.operations
+        if op.kind is not OpKind.CONST and op.is_synthesizable
+    }
+    problems: List[str] = []
+    for aligned in (False, True):
+        fast, error_fast = _run_side(lambda: compute_sequential_slack(
+            artifacts.timed, delays, spec.clock_period, aligned=aligned))
+        slow, error_slow = _run_side(
+            lambda: compute_sequential_slack_bellman_ford(
+                artifacts.timed, delays, spec.clock_period, aligned=aligned))
+        verdict = _compare_failures("topological", error_fast,
+                                    "bellman-ford", error_slow)
+        if verdict is not None:
+            if verdict:
+                problems.append(f"aligned={aligned}: {verdict}")
+            continue
+        if set(fast.slack) != set(slow.slack):
+            problems.append(f"aligned={aligned}: operation sets differ")
+            continue
+        for name in fast.slack:
+            for field_name in ("arrival", "required", "slack"):
+                a = getattr(fast, field_name)[name]
+                b = getattr(slow, field_name)[name]
+                if abs(a - b) > _ABS_TOL:
+                    problems.append(
+                        f"aligned={aligned}: {field_name}[{name}] "
+                        f"{b!r} != {a!r}")
+    return "; ".join(problems[:5])
+
+
+# -- oracle: serial vs thread executor sweeps --------------------------------------
+
+
+@oracle("executor-modes",
+        "serial and thread DSEEngine sweeps produce identical "
+        "per-point metrics and error outcomes")
+def _check_executor_modes(spec: ScenarioSpec, library: Library) -> str:
+    factory = spec.factory()
+    points = [
+        spec.point("p0"),
+        spec.point("p1", clock_period=spec.clock_period * 1.25),
+    ]
+
+    def sweep(mode: str):
+        return DSEEngine(factory, library, points,
+                         margin_fraction=spec.margin_fraction,
+                         executor=mode, max_workers=2).run()
+
+    serial = sweep("serial")
+    threaded = sweep("thread")
+    problems: List[str] = []
+    for out_s, out_t in zip(serial.outcomes, threaded.outcomes):
+        if out_s.status != out_t.status:
+            problems.append(f"{out_s.point.name}: status "
+                            f"serial={out_s.status} thread={out_t.status}")
+            continue
+        if out_s.status == "error":
+            if out_s.error != out_t.error:
+                problems.append(f"{out_s.point.name}: errors differ: "
+                                f"{out_s.error!r} != {out_t.error!r}")
+            continue
+        json_s = json.dumps(out_s.metrics, sort_keys=True)
+        json_t = json.dumps(out_t.metrics, sort_keys=True)
+        if json_s != json_t:
+            problems.append(f"{out_s.point.name}: metrics differ")
+    return "; ".join(problems)
+
+
+# -- oracle: analysis cache on vs off ----------------------------------------------
+
+
+@oracle("pipeline-cache",
+        "evaluate_point with the shared analysis cache == with a "
+        "private artifact bundle")
+def _check_pipeline_cache(spec: ScenarioSpec, library: Library) -> str:
+    factory = spec.factory()
+    point = spec.point()
+
+    cached, error_cached = _run_side(lambda: evaluate_point(
+        factory, library, point, margin_fraction=spec.margin_fraction,
+        use_cache=True))
+    fresh, error_fresh = _run_side(lambda: evaluate_point(
+        factory, library, point, margin_fraction=spec.margin_fraction,
+        use_cache=False))
+    verdict = _compare_failures("cache-on", error_cached,
+                                "cache-off", error_fresh)
+    if verdict is not None:
+        return verdict
+    json_cached = _entry_metrics_json(cached)
+    json_fresh = _entry_metrics_json(fresh)
+    if json_cached != json_fresh:
+        return "metrics with the analysis cache differ from a fresh bundle"
+    return ""
+
+
+# -- oracle: Pareto front invariants on generated fronts ---------------------------
+
+
+@oracle("pareto-front",
+        "pareto_front/coverage/hypervolume/knee invariants hold on a "
+        "scenario-seeded generated front")
+def _check_pareto_front(spec: ScenarioSpec, library: Library) -> str:
+    rng = random.Random(spec.seed ^ 0x5EED)
+    dims = rng.choice((2, 3))
+    count = rng.randint(8, 48)
+    objectives = tuple(f"axis{axis}" for axis in range(dims))
+    points = []
+    for index in range(count):
+        # A mix of a correlated trade-off curve and uniform noise, plus
+        # occasional exact duplicates, to exercise antichain/dedup paths.
+        if points and rng.random() < 0.1:
+            source = rng.choice(points)
+            points.append(FrontPoint(label=f"dup{index}",
+                                     objectives=objectives,
+                                     values=source.values))
+            continue
+        base = rng.random()
+        values = tuple(
+            round(base if axis == 0 else (1.0 - base) + rng.uniform(0, 0.5), 6)
+            for axis in range(dims)
+        )
+        points.append(FrontPoint(label=f"v{index}", objectives=objectives,
+                                 values=values))
+    violations = front_invariant_violations(points)
+    return "; ".join(violations[:5])

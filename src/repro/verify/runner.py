@@ -1,0 +1,201 @@
+"""The differential fuzzing loop: scenarios × oracles under a budget.
+
+:func:`run_fuzz` is the engine behind ``repro-verify run``: it draws
+scenarios from the deterministic stream of
+:func:`repro.verify.scenarios.scenario_stream`, schedules the selected
+oracles round-robin over the iterations (iteration ``i`` runs oracle
+``i % len(oracles)``), records every violation in the corpus — shrunk
+first, so regressions replay at minimal size — and stops on whichever of
+the iteration and wall-clock budgets is hit first.
+
+Determinism contract (asserted by the test suite and relied on by CI): for
+a fixed ``seed``, oracle selection and iteration count, the sequence of
+scenario fingerprints — and therefore :attr:`FuzzReport.scenario_digest` —
+is identical across runs, processes and platforms.  Wall-clock budgets
+cut the *number* of iterations, never reorder them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.lib.library import Library
+from repro.verify.corpus import Corpus
+from repro.verify.oracles import Oracle, OracleOutcome, default_library, select_oracles
+from repro.verify.scenarios import ScenarioProfile, ScenarioSpec, scenario_stream
+from repro.verify.shrink import ShrinkResult, shrink_spec
+
+
+def run_oracle_guarded(oracle: Oracle, spec: ScenarioSpec,
+                       library: Library) -> OracleOutcome:
+    """Run an oracle; an escaped exception becomes a violation, not an abort.
+
+    Oracles themselves arbitrate *expected* failures (paired
+    :class:`~repro.errors.ReproError`\\ s count as agreement), so anything
+    that still escapes — an ``IndexError`` deep in an engine under test, say
+    — is exactly the crash-bug class the fuzzer exists to find.  It must be
+    recorded and shrunk like any other violation instead of killing the run
+    and losing the seed.
+    """
+    try:
+        return oracle.run(spec, library)
+    except Exception as exc:  # noqa: BLE001 — crash capture is the point
+        return OracleOutcome(
+            oracle=oracle.name, ok=False,
+            details=f"crash: {type(exc).__name__}: {exc}\n"
+                    f"{traceback.format_exc(limit=8)}")
+
+
+@dataclass
+class FuzzFailure:
+    """One oracle violation, with its (optionally shrunk) reproducer."""
+
+    iteration: int
+    oracle: str
+    details: str
+    spec: ScenarioSpec
+    fingerprint: str
+    shrunk: Optional[ShrinkResult] = None
+
+    @property
+    def reproducer(self) -> ScenarioSpec:
+        return self.shrunk.spec if self.shrunk is not None else self.spec
+
+
+@dataclass
+class FuzzReport:
+    """Summary of one fuzzing run."""
+
+    seed: int
+    iterations: int = 0
+    wall_time_seconds: float = 0.0
+    failures: List[FuzzFailure] = field(default_factory=list)
+    checked_per_oracle: Dict[str, int] = field(default_factory=dict)
+    fingerprints: List[str] = field(default_factory=list)
+    budget_exhausted: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def scenario_digest(self) -> str:
+        """A stable digest of every checked scenario's fingerprint.
+
+        Two runs with the same seed/oracle/iteration configuration must
+        print the same digest — the cheap way for CI to assert end-to-end
+        determinism of the whole generate-build-fingerprint pipeline.
+        """
+        payload = "\n".join(self.fingerprints).encode("utf-8")
+        return hashlib.sha256(payload).hexdigest()
+
+
+def run_fuzz(
+    seed: int = 0,
+    iterations: Optional[int] = 200,
+    budget_seconds: Optional[float] = None,
+    oracle_names: Optional[List[str]] = None,
+    corpus: Optional[Corpus] = None,
+    shrink: bool = True,
+    shrink_evaluations: int = 200,
+    library: Optional[Library] = None,
+    profile: Optional[ScenarioProfile] = None,
+    progress: Optional[Callable[[int, ScenarioSpec, OracleOutcome], None]] = None,
+) -> FuzzReport:
+    """Run the differential fuzzing loop and return its report.
+
+    ``iterations=None`` runs until ``budget_seconds`` expires (one of the
+    two budgets must be set).  Violations are appended to ``corpus`` (when
+    given) as a ``failure`` record plus, when ``shrink`` is on, a ``shrunk``
+    record keyed by the minimized design's fingerprint.
+    """
+    if iterations is None and budget_seconds is None:
+        raise ValueError("set iterations and/or budget_seconds")
+    library = library if library is not None else default_library()
+    oracles = select_oracles(oracle_names)
+    report = FuzzReport(seed=seed)
+    start = time.perf_counter()
+
+    for iteration, spec in scenario_stream(seed, iterations, profile=profile):
+        if budget_seconds is not None \
+                and time.perf_counter() - start >= budget_seconds:
+            report.budget_exhausted = True
+            break
+        oracle = oracles[iteration % len(oracles)]
+        fingerprint = spec.fingerprint()
+        report.fingerprints.append(fingerprint)
+        outcome = run_oracle_guarded(oracle, spec, library)
+        report.iterations += 1
+        report.checked_per_oracle[oracle.name] = \
+            report.checked_per_oracle.get(oracle.name, 0) + 1
+        if progress is not None:
+            progress(iteration, spec, outcome)
+        if outcome.ok:
+            continue
+
+        failure = FuzzFailure(iteration=iteration, oracle=oracle.name,
+                              details=outcome.details, spec=spec,
+                              fingerprint=fingerprint)
+        if corpus is not None:
+            corpus.add(spec, oracle.name, outcome.details,
+                       kind="failure", fingerprint=fingerprint)
+        if shrink:
+            failure.shrunk = shrink_failure(
+                failure, oracle, library=library,
+                max_evaluations=shrink_evaluations)
+            if corpus is not None and failure.shrunk.accepted_steps:
+                shrunk_spec = failure.shrunk.spec
+                # Store the shrunk spec's *own* violation message — the
+                # original details may name ops the minimized design no
+                # longer contains.
+                shrunk_outcome = run_oracle_guarded(oracle, shrunk_spec,
+                                                    library)
+                corpus.add(shrunk_spec, oracle.name,
+                           shrunk_outcome.details or outcome.details,
+                           kind="shrunk", shrunk_from=fingerprint)
+        report.failures.append(failure)
+
+    report.wall_time_seconds = time.perf_counter() - start
+    return report
+
+
+def shrink_failure(failure: FuzzFailure, oracle: Oracle,
+                   library: Optional[Library] = None,
+                   max_evaluations: int = 200) -> ShrinkResult:
+    """Minimize a failure's spec while the same oracle keeps failing."""
+    library = library if library is not None else default_library()
+
+    def still_fails(candidate: ScenarioSpec) -> bool:
+        return not run_oracle_guarded(oracle, candidate, library).ok
+
+    return shrink_spec(failure.spec, still_fails,
+                       max_evaluations=max_evaluations)
+
+
+def replay_corpus(
+    corpus: Corpus,
+    oracle_names: Optional[List[str]] = None,
+    library: Optional[Library] = None,
+) -> List[OracleOutcome]:
+    """Re-run every stored corpus record against its recorded oracle.
+
+    Returns one outcome per replayed record (skipping records whose oracle
+    is not in ``oracle_names`` when a filter is given).  A record whose
+    scenario *no longer* fails is a fixed regression — ``repro-verify
+    replay`` reports it as such instead of failing the run.
+    """
+    library = library if library is not None else default_library()
+    allowed = {oracle.name for oracle in select_oracles(oracle_names)}
+    outcomes: List[OracleOutcome] = []
+    for record in corpus.records():
+        name = record["oracle"]
+        if name not in allowed:
+            continue
+        oracle = select_oracles([name])[0]
+        outcomes.append(run_oracle_guarded(oracle, corpus.spec_of(record),
+                                           library))
+    return outcomes

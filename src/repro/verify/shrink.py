@@ -1,0 +1,146 @@
+"""Greedy delta-debugging of failing scenario specs.
+
+Given a :class:`~repro.verify.scenarios.ScenarioSpec` on which an oracle
+fails, :func:`shrink_spec` searches for a smaller spec that *still fails the
+same oracle*, by repeatedly applying structural reductions:
+
+* drop a whole segment (or flatten a diamond into a linear segment, which
+  removes its branch comparison, MUX and two arm states);
+* drop one operation from any op list;
+* drop an input port / reduce the output count / drop the tail wait states;
+* narrow input port widths to the narrowest profile width;
+* drop the pipeline initiation interval.
+
+Because operand references in the segment encoding are *indices modulo the
+visible value list*, every candidate is a valid, buildable spec by
+construction — the shrinker never needs a repair pass and can therefore
+explore aggressively.
+
+All reductions are non-increasing in ``spec.num_design_ops()`` (width
+narrowing keeps it constant), so the classic delta-debugging guarantees
+hold: the result is at most as large as the input, and it still fails.  The
+loop is greedy first-improvement with a fixed candidate order and a bounded
+number of oracle evaluations, which keeps shrinking deterministic and
+budgetable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterator, List, Tuple
+
+from repro.verify.scenarios import ScenarioSpec
+
+#: The narrowest width any input port is narrowed to.
+MIN_WIDTH = 4
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink run."""
+
+    spec: ScenarioSpec
+    evaluations: int
+    accepted_steps: List[str] = field(default_factory=list)
+    exhausted_budget: bool = False
+
+    @property
+    def rounds(self) -> int:
+        return len(self.accepted_steps)
+
+
+def _without(items: Tuple, index: int) -> Tuple:
+    return items[:index] + items[index + 1:]
+
+
+def _candidates(spec: ScenarioSpec) -> Iterator[Tuple[str, ScenarioSpec]]:
+    """Yield ``(description, candidate)`` pairs, most-aggressive first."""
+    # 1. Drop whole segments (keep at least one).
+    if len(spec.segments) > 1:
+        for index in range(len(spec.segments)):
+            yield (f"drop segment {index}",
+                   replace(spec, segments=_without(spec.segments, index)))
+    # 2. Flatten a diamond into a linear segment carrying all of its ops
+    #    (removes the automatic cmp + mux and two of its three states).
+    for index, segment in enumerate(spec.segments):
+        if segment[0] == "diamond":
+            flattened = ("linear",
+                         tuple(op for part in segment[1:] for op in part))
+            yield (f"flatten diamond segment {index}",
+                   replace(spec, segments=spec.segments[:index] + (flattened,)
+                           + spec.segments[index + 1:]))
+    # 3. Drop single ops (never empties a linear segment's only list below
+    #    zero ops — an op-less linear segment is legal and acts as a wait
+    #    state, so dropping to empty is allowed).
+    for seg_index, segment in enumerate(spec.segments):
+        for part_index, part in enumerate(segment[1:], start=1):
+            for op_index in range(len(part)):
+                parts = list(segment[1:])
+                parts[part_index - 1] = _without(part, op_index)
+                candidate_segment = (segment[0],) + tuple(parts)
+                yield (f"drop op {op_index} of list {part_index - 1} in "
+                       f"segment {seg_index}",
+                       replace(spec, segments=spec.segments[:seg_index]
+                               + (candidate_segment,)
+                               + spec.segments[seg_index + 1:]))
+    # 4. Structural knobs.
+    if spec.tail_states > 0:
+        yield "drop tail states", replace(spec, tail_states=0)
+    if spec.outputs > 1:
+        yield "single output", replace(spec, outputs=1)
+    if len(spec.inputs) > 1:
+        for index in range(len(spec.inputs)):
+            yield (f"drop input {index}",
+                   replace(spec, inputs=_without(spec.inputs, index)))
+    if spec.pipeline_ii is not None:
+        yield "drop pipeline II", replace(spec, pipeline_ii=None)
+    # 5. Narrow widths (keeps the op count, shrinks the arithmetic).
+    if any(width > MIN_WIDTH for width in spec.inputs):
+        yield ("narrow all inputs",
+               replace(spec, inputs=tuple(MIN_WIDTH for _ in spec.inputs)))
+        for index, width in enumerate(spec.inputs):
+            if width > MIN_WIDTH:
+                narrowed = (spec.inputs[:index] + (MIN_WIDTH,)
+                            + spec.inputs[index + 1:])
+                yield f"narrow input {index}", replace(spec, inputs=narrowed)
+
+
+def shrink_spec(
+    spec: ScenarioSpec,
+    still_fails: Callable[[ScenarioSpec], bool],
+    max_evaluations: int = 500,
+) -> ShrinkResult:
+    """Greedily minimize ``spec`` while ``still_fails`` keeps returning True.
+
+    ``still_fails`` is typically ``lambda s: not oracle.run(s).ok`` — it must
+    be deterministic (oracles are).  The input spec itself is assumed
+    failing; the result spec is guaranteed to fail (it is the last candidate
+    that did) and to satisfy
+    ``result.spec.num_design_ops() <= spec.num_design_ops()``.
+
+    ``max_evaluations`` bounds the number of ``still_fails`` calls; hitting
+    the bound sets ``exhausted_budget`` and returns the best spec so far.
+    """
+    current = spec
+    evaluations = 0
+    accepted: List[str] = []
+    exhausted = False
+
+    progress = True
+    while progress:
+        progress = False
+        for description, candidate in _candidates(current):
+            if evaluations >= max_evaluations:
+                exhausted = True
+                break
+            evaluations += 1
+            if still_fails(candidate):
+                current = candidate
+                accepted.append(description)
+                progress = True
+                break  # restart candidate enumeration on the smaller spec
+        if exhausted:
+            break
+
+    return ShrinkResult(spec=current, evaluations=evaluations,
+                        accepted_steps=accepted, exhausted_budget=exhausted)

@@ -25,13 +25,19 @@ from repro.workloads.kernels import (
     fft_stage_design,
     sobel_design,
 )
-from repro.workloads.generator import random_layered_design
+from repro.workloads.generator import (
+    random_layered_design,
+    random_layered_design_seeded,
+    resolve_seed,
+    segmented_design,
+)
 from repro.workloads.factories import (
     IDCTPointFactory,
     InterpolationPointFactory,
     KernelPointFactory,
     RandomPointFactory,
     ResizerPointFactory,
+    SegmentedPointFactory,
 )
 
 __all__ = [
@@ -46,9 +52,13 @@ __all__ = [
     "fft_stage_design",
     "sobel_design",
     "random_layered_design",
+    "random_layered_design_seeded",
+    "resolve_seed",
+    "segmented_design",
     "IDCTPointFactory",
     "InterpolationPointFactory",
     "KernelPointFactory",
     "RandomPointFactory",
     "ResizerPointFactory",
+    "SegmentedPointFactory",
 ]

@@ -21,7 +21,7 @@ from repro.ir.design import Design
 from repro.workloads.idct import idct_design
 from repro.workloads.interpolation import interpolation_design
 from repro.workloads.resizer import resizer_design
-from repro.workloads.generator import random_layered_design
+from repro.workloads.generator import random_layered_design, segmented_design
 from repro.workloads.kernels import (
     dct_butterfly_design,
     fft_stage_design,
@@ -120,6 +120,33 @@ class ResizerPointFactory:
 
     def __call__(self, point) -> Design:
         return resizer_design(width=self.width)
+
+
+@dataclass(frozen=True)
+class SegmentedPointFactory:
+    """Builds a fixed multi-basic-block design from primitive segment tuples.
+
+    The segment encoding is :func:`repro.workloads.generator.segmented_design`'s
+    — nested tuples of strings and integers — so the factory pickles for
+    process-pool sweeps and hashes for checkpoint signatures.  The design's
+    control structure is fixed by the spec (like :class:`ResizerPointFactory`,
+    ``point.latency`` does not stretch it); the clock period is taken from
+    the design point.  This is the construction backend of the differential
+    fuzzing scenarios in :mod:`repro.verify.scenarios`.
+    """
+
+    segments: Tuple[Tuple[object, ...], ...]
+    inputs: Tuple[int, ...]
+    outputs: int = 1
+    tail_states: int = 0
+    name: str = "segmented"
+
+    def __call__(self, point) -> Design:
+        return segmented_design(self.segments, self.inputs,
+                                outputs=self.outputs,
+                                tail_states=self.tail_states,
+                                name=self.name,
+                                clock_period=point.clock_period)
 
 
 @dataclass(frozen=True)

@@ -1,16 +1,39 @@
-"""Seeded random layered DFG generator (stress and property-based tests).
+"""Seeded random design generators (stress, fuzzing and property-based tests).
 
-The generator produces designs with a controllable number of layers, ops per
-layer and operation mix, on a linear CFG skeleton.  It is deterministic for a
-given seed, so property-based tests and benchmarks are reproducible.
+Two generators live here:
+
+* :func:`random_layered_design` — layered DFGs on a linear CFG skeleton, the
+  workhorse of the property-based suites and the kernel-sweep benchmarks;
+* :func:`segmented_design` — a deterministic builder that turns a primitive
+  *segment list* (linear states and branch/merge "diamond" segments, each
+  carrying operation tuples) into a full multi-basic-block design.  It is
+  the construction backend of the differential-fuzzing scenarios in
+  :mod:`repro.verify.scenarios`: because the whole design is a pure function
+  of nested tuples of primitives, scenario specs stay picklable, JSON-safe
+  and shrinkable.
+
+Both are deterministic for a given seed/spec, so failures replay forever.
+
+Seed handling
+-------------
+
+``random_layered_design(seed=None)`` used to seed :class:`random.Random`
+with ``None`` — i.e. from OS entropy — which made reruns irreproducible and
+silently broke the "replay any failure from its seed" contract.  Seeds are
+now resolved *first* (:func:`resolve_seed` draws a concrete integer for
+``None``), the resolved value is threaded through one explicit
+:class:`random.Random` instance, stamped into ``design.attrs["seed"]``, and
+returned alongside the design by :func:`random_layered_design_seeded`.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.ir.builder import LinearDesignBuilder
+from repro.errors import IRError
+from repro.ir.builder import DesignBuilder, LinearDesignBuilder
+from repro.ir.cfg import NodeKind
 from repro.ir.design import Design
 from repro.ir.operations import OpKind
 
@@ -24,9 +47,24 @@ DEFAULT_MIX: Dict[OpKind, float] = {
     OpKind.LT: 0.5,
 }
 
+#: Upper bound for seeds drawn by :func:`resolve_seed` (fits 32-bit tooling).
+_SEED_RANGE = 2 ** 32
+
+
+def resolve_seed(seed: Optional[int]) -> int:
+    """Resolve ``seed=None`` to a concrete, reportable integer seed.
+
+    ``None`` draws a fresh seed from OS entropy *once*; everything downstream
+    uses the resolved value, so the run is reproducible as soon as the seed
+    is logged or returned.
+    """
+    if seed is None:
+        return random.SystemRandom().randrange(_SEED_RANGE)
+    return int(seed)
+
 
 def random_layered_design(
-    seed: int = 0,
+    seed: Optional[int] = 0,
     layers: int = 4,
     ops_per_layer: int = 6,
     latency: int = 4,
@@ -34,45 +72,275 @@ def random_layered_design(
     clock_period: float = 2000.0,
     mix: Optional[Dict[OpKind, float]] = None,
     name: Optional[str] = None,
+    width_choices: Optional[Sequence[int]] = None,
 ) -> Design:
-    """Build a random layered design.
+    """Build a random layered design (see :func:`random_layered_design_seeded`).
+
+    Kept returning just the :class:`Design` for backward compatibility; the
+    resolved seed is stamped into ``design.attrs["seed"]`` either way.
+    """
+    design, _ = random_layered_design_seeded(
+        seed=seed, layers=layers, ops_per_layer=ops_per_layer, latency=latency,
+        width=width, clock_period=clock_period, mix=mix, name=name,
+        width_choices=width_choices,
+    )
+    return design
+
+
+def random_layered_design_seeded(
+    seed: Optional[int] = 0,
+    layers: int = 4,
+    ops_per_layer: int = 6,
+    latency: int = 4,
+    width: int = 16,
+    clock_period: float = 2000.0,
+    mix: Optional[Dict[OpKind, float]] = None,
+    name: Optional[str] = None,
+    width_choices: Optional[Sequence[int]] = None,
+) -> Tuple[Design, int]:
+    """Build a random layered design and return ``(design, resolved_seed)``.
 
     Layer 0 consists of port reads; every operation in layer ``i`` consumes
     two values chosen uniformly from earlier layers; a handful of final
-    values are written to output ports.
+    values are written to output ports.  ``seed=None`` resolves to a fresh
+    concrete seed (returned, so the draw can be replayed); an explicit seed
+    reproduces the same design bit for bit.
+
+    ``width_choices`` optionally mixes bitwidths: each port read draws its
+    width from the sequence and every operation widens to the maximum of its
+    operand widths.  ``None`` (the default) keeps the uniform-``width``
+    behaviour — and the exact op streams — of earlier revisions.
     """
     if layers < 1 or ops_per_layer < 1:
         raise ValueError("layers and ops_per_layer must be >= 1")
-    rng = random.Random(seed)
+    resolved = resolve_seed(seed)
+    rng = random.Random(resolved)
     mix = mix or DEFAULT_MIX
     kinds = list(mix.keys())
     weights = [mix[k] for k in kinds]
 
-    builder = LinearDesignBuilder(name or f"random_s{seed}", latency)
+    builder = LinearDesignBuilder(name or f"random_s{resolved}", latency)
     builder.clock_period = clock_period
     first = builder.edge_for_step(1)
     last = builder.edge_for_step(latency)
 
-    produced: List[str] = []
+    produced: List[Tuple[str, int]] = []
     for index in range(ops_per_layer):
-        produced.append(builder.read(f"in{index}", first, width=width,
-                                     name=f"rd_{index}").name)
+        read_width = rng.choice(list(width_choices)) if width_choices else width
+        op = builder.read(f"in{index}", first, width=read_width,
+                          name=f"rd_{index}")
+        produced.append((op.name, read_width))
 
     for layer in range(1, layers + 1):
-        layer_values: List[str] = []
+        layer_values: List[Tuple[str, int]] = []
         for index in range(ops_per_layer):
             kind = rng.choices(kinds, weights=weights, k=1)[0]
-            lhs = rng.choice(produced)
-            rhs = rng.choice(produced)
-            op = builder.binary(kind, lhs, rhs, first, width=width,
+            lhs, lhs_width = rng.choice(produced)
+            rhs, rhs_width = rng.choice(produced)
+            op_width = max(lhs_width, rhs_width)
+            op = builder.binary(kind, lhs, rhs, first, width=op_width,
+                                operand_widths=(lhs_width, rhs_width),
                                 name=f"l{layer}_{kind.value}_{index}")
-            layer_values.append(op.name)
+            layer_values.append((op.name, op_width))
         produced.extend(layer_values)
 
     num_outputs = max(1, ops_per_layer // 2)
-    for index, value in enumerate(produced[-num_outputs:]):
-        builder.write(f"out{index}", last, value, width=width, name=f"wr_{index}")
+    for index, (value, value_width) in enumerate(produced[-num_outputs:]):
+        builder.write(f"out{index}", last, value, width=value_width,
+                      name=f"wr_{index}")
 
     design = builder.build()
-    design.attrs["seed"] = seed
+    design.attrs["seed"] = resolved
+    return design, resolved
+
+
+# -- segmented designs -----------------------------------------------------------
+
+#: Operation kinds a segment op tuple may name (all characterised by the
+#: default library across the default widths).
+SEGMENT_OP_KINDS: Tuple[str, ...] = (
+    OpKind.ADD.value, OpKind.SUB.value, OpKind.MUL.value,
+    OpKind.AND.value, OpKind.OR.value, OpKind.XOR.value,
+    OpKind.SHL.value, OpKind.SHR.value,
+    OpKind.LT.value, OpKind.GT.value, OpKind.EQ.value,
+)
+
+#: Segment kinds understood by :func:`segmented_design`.
+SEGMENT_LINEAR = "linear"
+SEGMENT_DIAMOND = "diamond"
+
+
+def _pick(values: Sequence[Tuple[str, int]], index: int) -> Tuple[str, int]:
+    """Deterministic value selection: any integer indexes the visible list."""
+    return values[int(index) % len(values)]
+
+
+def _place_ops(builder: DesignBuilder, edge: str, ops: Sequence[Sequence[object]],
+               visible: List[Tuple[str, int]], prefix: str) -> None:
+    """Append each op tuple ``(kind, lhs_index, rhs_index)`` on ``edge``.
+
+    Newly produced values become visible to later ops of the same list (and
+    to whatever the caller does with ``visible`` afterwards).  Operand widths
+    follow the producers; the result widens to their maximum, so mixed-width
+    inputs propagate through the whole segment chain.
+    """
+    for position, op_spec in enumerate(ops):
+        kind_value, lhs_index, rhs_index = op_spec
+        if kind_value not in SEGMENT_OP_KINDS:
+            raise IRError(f"unsupported segment op kind {kind_value!r}")
+        lhs, lhs_width = _pick(visible, lhs_index)
+        rhs, rhs_width = _pick(visible, rhs_index)
+        op_width = max(lhs_width, rhs_width)
+        op = builder.binary(OpKind(kind_value), lhs, rhs, edge, width=op_width,
+                            operand_widths=(lhs_width, rhs_width),
+                            name=f"{prefix}_{kind_value}_{position}")
+        visible.append((op.name, op_width))
+
+
+def segmented_design(
+    segments: Sequence[Sequence[object]],
+    inputs: Sequence[int],
+    outputs: int = 1,
+    tail_states: int = 0,
+    name: str = "segmented",
+    clock_period: Optional[float] = None,
+) -> Design:
+    """Build a multi-basic-block design from a primitive segment list.
+
+    ``segments`` is a sequence of segment tuples:
+
+    * ``("linear", ops)`` — one state; ``ops`` live on the edge entering it;
+    * ``("diamond", entry_ops, then_ops, else_ops, merge_ops)`` — a branch
+      whose two arms each contain a wait state (the shape of the paper's
+      Fig. 4 resizer): ``entry_ops`` plus an automatic branch comparison sit
+      on the edge entering the branch node, the arm op lists on the edges
+      leaving the arms' states, and an automatic MUX (plus ``merge_ops``) on
+      the edge entering the post-merge state.
+
+    Every op is a ``(kind, lhs_index, rhs_index)`` tuple of primitives; the
+    indices address the list of values *visible* at that op (inputs, earlier
+    main-path values, and same-arm values inside an arm) modulo its length,
+    so any spec — including every shrunk mutation of a spec — builds a valid
+    design.  Values born inside an arm never escape except through the MUX,
+    which keeps the dataflow consistent with the control flow.
+
+    ``inputs`` gives the port widths of ``in0..inN`` (read on the first
+    segment's entry edge); the last ``outputs`` main-path values are written
+    on the final edge; ``tail_states`` appends op-less wait states before
+    the loop-back edge.  The construction is a pure function of the
+    arguments, so structurally equal specs fingerprint identically.
+    """
+    if not segments:
+        raise IRError("a segmented design needs at least one segment")
+    if not inputs:
+        raise IRError("a segmented design needs at least one input port")
+    if outputs < 1:
+        raise IRError("a segmented design needs at least one output")
+    if tail_states < 0:
+        raise IRError("tail_states must be >= 0")
+
+    builder = DesignBuilder(name)
+    builder.clock_period = clock_period
+    builder.start_node("start")
+    previous = "start"
+    edge_count = 0
+    state_count = 0
+
+    def next_edge(src: str, dst: str, condition: Optional[str] = None) -> str:
+        nonlocal edge_count
+        edge_count += 1
+        builder.edge(src, dst, name=f"e{edge_count}", condition=condition)
+        return f"e{edge_count}"
+
+    def next_state() -> str:
+        nonlocal state_count
+        state_count += 1
+        builder.state_node(f"s{state_count}")
+        return f"s{state_count}"
+
+    main: List[Tuple[str, int]] = []
+    last_edge: Optional[str] = None
+
+    for seg_index, segment in enumerate(segments):
+        seg_kind = segment[0]
+        if seg_kind == SEGMENT_LINEAR:
+            (_, ops) = segment
+            state = next_state()
+            edge = next_edge(previous, state)
+            if seg_index == 0:
+                _read_inputs(builder, edge, inputs, main)
+            _place_ops(builder, edge, ops, main, f"g{seg_index}")
+            previous, last_edge = state, edge
+        elif seg_kind == SEGMENT_DIAMOND:
+            (_, entry_ops, then_ops, else_ops, merge_ops) = segment
+            branch = f"br{seg_index}"
+            builder.plain_node(branch, kind=NodeKind.BRANCH)
+            entry_edge = next_edge(previous, branch)
+            if seg_index == 0:
+                _read_inputs(builder, entry_edge, inputs, main)
+            _place_ops(builder, entry_edge, entry_ops, main, f"g{seg_index}")
+            cmp_lhs, cmp_lhs_width = _pick(main, 0 if len(main) < 2 else 1)
+            cmp_rhs, cmp_rhs_width = _pick(main, 0)
+            cmp = builder.binary(
+                OpKind.GT, cmp_lhs, cmp_rhs, entry_edge,
+                width=max(cmp_lhs_width, cmp_rhs_width),
+                operand_widths=(cmp_lhs_width, cmp_rhs_width),
+                name=f"g{seg_index}_cmp",
+            )
+            cmp.attrs["branch_condition"] = True
+
+            then_state, else_state = next_state(), next_state()
+            next_edge(branch, then_state, condition="taken")
+            next_edge(branch, else_state, condition="not_taken")
+            merge = f"m{seg_index}"
+            builder.plain_node(merge, kind=NodeKind.MERGE)
+            then_edge = next_edge(then_state, merge)
+            else_edge = next_edge(else_state, merge)
+
+            then_visible = list(main)
+            _place_ops(builder, then_edge, then_ops, then_visible,
+                       f"g{seg_index}t")
+            else_visible = list(main)
+            _place_ops(builder, else_edge, else_ops, else_visible,
+                       f"g{seg_index}e")
+            # Arm results (or, for an empty arm, the last pre-branch value)
+            # merge through an explicit MUX steered by the branch condition.
+            then_value, then_width = then_visible[-1]
+            else_value, else_width = else_visible[-1]
+            post_state = next_state()
+            merge_edge = next_edge(merge, post_state)
+            mux = builder.op(
+                OpKind.MUX, merge_edge, name=f"g{seg_index}_mux",
+                width=max(then_width, else_width),
+                operand_widths=(then_width, else_width, 1),
+                inputs=[then_value, else_value, cmp.name],
+            )
+            main.append((mux.name, max(then_width, else_width)))
+            _place_ops(builder, merge_edge, merge_ops, main, f"g{seg_index}m")
+            previous, last_edge = post_state, merge_edge
+        else:
+            raise IRError(f"unknown segment kind {seg_kind!r}")
+
+    for _ in range(tail_states):
+        state = next_state()
+        last_edge = next_edge(previous, state)
+        previous = state
+
+    for index in range(min(outputs, len(main))):
+        value, value_width = main[len(main) - 1 - index]
+        builder.write(f"out{index}", last_edge, value, width=value_width,
+                      name=f"wr_{index}")
+
+    builder.edge(previous, "start", name="loop_back", backward=True)
+    design = builder.build()
+    design.attrs["segments"] = len(segments)
+    design.attrs["states"] = state_count
     return design
+
+
+def _read_inputs(builder: DesignBuilder, edge: str, inputs: Sequence[int],
+                 main: List[Tuple[str, int]]) -> None:
+    for index, port_width in enumerate(inputs):
+        op = builder.read(f"in{index}", edge, width=int(port_width),
+                          name=f"rd_{index}")
+        main.append((op.name, int(port_width)))

@@ -1,0 +1,128 @@
+"""Lint of .github/workflows/ci.yml: the quality gate must stay wired.
+
+An ``act``-style dry parse: the workflow file is loaded as YAML and its
+structure asserted, so a refactor cannot silently drop the nightly fuzz,
+the perf-regression gate, the packaging smoke or the hygiene settings
+(concurrency cancellation, pip caching).
+"""
+
+import os
+
+import pytest
+
+yaml = pytest.importorskip("yaml")
+
+WORKFLOW = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), ".github", "workflows", "ci.yml")
+
+
+@pytest.fixture(scope="module")
+def workflow():
+    with open(WORKFLOW, "r", encoding="utf-8") as handle:
+        data = yaml.safe_load(handle)
+    assert isinstance(data, dict)
+    return data
+
+
+@pytest.fixture(scope="module")
+def triggers(workflow):
+    # YAML 1.1 parses the bare key `on` as boolean True.
+    return workflow.get("on", workflow.get(True))
+
+
+def _steps(workflow, job):
+    assert job in workflow["jobs"], f"job {job!r} missing from ci.yml"
+    return workflow["jobs"][job]["steps"]
+
+
+def _run_text(workflow, job):
+    return "\n".join(step.get("run", "") for step in _steps(workflow, job))
+
+
+def test_workflow_parses_and_has_all_jobs(workflow):
+    assert set(workflow["jobs"]) == {
+        "lint", "test", "bench-smoke", "package", "fuzz-nightly"}
+
+
+def test_schedule_and_dispatch_triggers(workflow, triggers):
+    assert "schedule" in triggers, "nightly cron trigger missing"
+    crons = [entry["cron"] for entry in triggers["schedule"]]
+    assert len(crons) == 1 and len(crons[0].split()) == 5
+    assert "workflow_dispatch" in triggers
+    # The nightly event only runs the fuzz job; every other job opts out.
+    for job, config in workflow["jobs"].items():
+        condition = config.get("if", "")
+        if job == "fuzz-nightly":
+            assert "schedule" in condition
+        else:
+            assert "github.event_name != 'schedule'" in condition, job
+
+
+def test_concurrency_cancels_superseded_pr_runs(workflow):
+    concurrency = workflow.get("concurrency")
+    assert isinstance(concurrency, dict)
+    assert "github.ref" in concurrency["group"]
+    assert "cancel-in-progress" in concurrency
+
+
+def test_every_setup_python_step_caches_pip(workflow):
+    saw_setup = 0
+    for job in workflow["jobs"].values():
+        for step in job["steps"]:
+            uses = step.get("uses", "")
+            if uses.startswith("actions/setup-python"):
+                saw_setup += 1
+                assert step.get("with", {}).get("cache") == "pip", (
+                    f"setup-python without pip cache in {uses}")
+    assert saw_setup >= 5
+
+
+def test_pr_scoped_fuzz_smoke_runs_in_the_test_job(workflow):
+    run_text = _run_text(workflow, "test")
+    assert "repro.verify run" in run_text
+    assert "--iterations 50" in run_text
+    assert "--seed 0" in run_text
+
+
+def test_nightly_fuzz_job_budget_seed_and_artifact(workflow):
+    run_text = _run_text(workflow, "fuzz-nightly")
+    assert "--budget-seconds 600" in run_text
+    assert "--seed-from-date" in run_text
+    assert "--corpus" in run_text
+    uploads = [step for step in _steps(workflow, "fuzz-nightly")
+               if str(step.get("uses", "")).startswith("actions/upload-artifact")]
+    assert uploads, "nightly corpus artifact upload missing"
+    assert any("fuzz-corpus" in str(step.get("with", {}).get("path", ""))
+               for step in uploads)
+    assert all(step.get("if") == "always()" for step in uploads)
+
+
+def test_bench_job_runs_the_perf_regression_gate(workflow):
+    run_text = _run_text(workflow, "bench-smoke")
+    assert "benchmarks/check_timings.py" in run_text
+    assert "--benchmark-json benchmark-timings.json" in run_text
+    # The gate must run on the same file the suite just wrote.
+    assert run_text.index("--benchmark-json benchmark-timings.json") \
+        < run_text.index("benchmarks/check_timings.py")
+
+
+def test_packaging_job_builds_installs_and_imports(workflow):
+    run_text = _run_text(workflow, "package")
+    assert "python -m build" in run_text
+    assert "pip install dist/" in run_text
+    assert "import repro" in run_text
+    assert "repro.explore" in run_text and "repro.verify" in run_text
+    assert "repro-verify" in run_text and "repro-explore" in run_text
+
+
+def test_perf_baseline_is_committed_and_well_formed():
+    import json
+
+    baseline_path = os.path.join(os.path.dirname(WORKFLOW), "..", "..",
+                                 "benchmarks", "baseline_timings.json")
+    with open(os.path.normpath(baseline_path), "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    assert data["schema"] == 1
+    assert isinstance(data["benchmarks"], dict) and data["benchmarks"]
+    assert all(isinstance(mean, (int, float)) and mean > 0
+               for mean in data["benchmarks"].values())

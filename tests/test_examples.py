@@ -20,6 +20,7 @@ EXAMPLES_DIR = os.path.join(os.path.dirname(os.path.dirname(
 ARGS = {
     "idct_dse.py": ["1", "1"],          # rows=1, one worker
     "explore_pareto.py": ["1", "8:20"],  # rows=1, short latency range
+    "verify_fuzz.py": ["10", "0"],       # 10 fuzz iterations, seed 0
 }
 
 

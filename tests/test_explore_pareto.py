@@ -214,3 +214,59 @@ class TestObjectiveExtraction:
         assert point.label == "D1"
         assert point.raw_value("throughput") == pytest.approx(0.1)
         assert point.raw_value("area") == pytest.approx(150.0)
+
+
+# -- front invariants (the verification layer's pareto oracle) ----------------------
+
+
+class TestFrontInvariantViolations:
+    def _points(self, seed, count=30, dims=2):
+        rng = random.Random(seed)
+        return make_points(
+            [tuple(round(rng.uniform(0, 10), 3) for _ in range(dims))
+             for _ in range(count)],
+            objectives=tuple(f"axis{a}" for a in range(dims))[:dims]
+            if dims != 2 else ("latency_steps", "area"),
+        )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_correct_fronts_have_no_violations(self, seed):
+        from repro.explore.pareto import front_invariant_violations
+
+        assert front_invariant_violations(self._points(seed)) == []
+
+    def test_empty_inputs_are_clean(self):
+        from repro.explore.pareto import front_invariant_violations
+
+        assert front_invariant_violations([]) == []
+
+    def test_foreign_front_member_is_reported(self):
+        from repro.explore.pareto import front_invariant_violations
+
+        points = make_points([(1, 2), (2, 1)])
+        foreign = make_points([(0, 0)])[0]
+        violations = front_invariant_violations(points,
+                                                front=points + [foreign])
+        assert any("not an input point" in v for v in violations)
+
+    def test_dominated_front_member_is_reported(self):
+        from repro.explore.pareto import front_invariant_violations
+
+        points = make_points([(1, 1), (2, 2)])  # (1,1) dominates (2,2)
+        violations = front_invariant_violations(points, front=points)
+        assert any("dominates front member" in v for v in violations)
+
+    def test_incomplete_front_is_reported(self):
+        from repro.explore.pareto import front_invariant_violations
+
+        points = make_points([(1, 2), (2, 1)])  # both non-dominated
+        violations = front_invariant_violations(points, front=points[:1])
+        assert any("neither on the front nor dominated" in v
+                   for v in violations)
+
+    def test_empty_front_for_nonempty_points_is_reported(self):
+        from repro.explore.pareto import front_invariant_violations
+
+        violations = front_invariant_violations(make_points([(1, 2)]),
+                                                front=[])
+        assert violations

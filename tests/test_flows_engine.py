@@ -336,3 +336,44 @@ def test_ranges_of_a_healthy_sweep_are_ratios():
     assert healthy.area_range() == pytest.approx(2.0)
     assert healthy.power_range() == pytest.approx(2.0)
     assert healthy.throughput_range() == pytest.approx(2.0)
+
+
+# -- cache-off evaluation hook (the pipeline-cache oracle's substrate) --------------
+
+
+def test_engine_cache_off_mode_matches_cached_metrics(library):
+    """`use_analysis_cache=False` must be observably identical to the
+    default: private artifact bundles are bit-for-bit equal to shared ones
+    by the analysis-cache contract."""
+    import json
+
+    factory = IDCTPointFactory(rows=1)
+    points = [DesignPoint(name="P0", latency=10, clock_period=1500.0),
+              DesignPoint(name="P1", latency=12, clock_period=1500.0)]
+    cached = DSEEngine(factory, library, points, executor="serial").run()
+    fresh = DSEEngine(factory, library, points, executor="serial",
+                      use_analysis_cache=False).run()
+    assert json.dumps(cached.metrics(), sort_keys=True) \
+        == json.dumps(fresh.metrics(), sort_keys=True)
+
+
+def test_evaluate_point_use_cache_false_builds_private_artifacts(library,
+                                                                 monkeypatch):
+    import repro.flows.dse as dse_mod
+    from repro.flows.pipeline import PointArtifacts
+
+    calls = {"build": 0, "of": 0}
+    real_build, real_of = PointArtifacts.build, PointArtifacts.of
+    monkeypatch.setattr(
+        PointArtifacts, "build",
+        classmethod(lambda cls, design: calls.__setitem__(
+            "build", calls["build"] + 1) or real_build.__func__(cls, design)))
+    monkeypatch.setattr(
+        PointArtifacts, "of",
+        classmethod(lambda cls, design, cache=None: calls.__setitem__(
+            "of", calls["of"] + 1) or real_of.__func__(cls, design, cache)))
+
+    point = DesignPoint(name="P0", latency=10, clock_period=1500.0)
+    dse_mod.evaluate_point(IDCTPointFactory(rows=1), library, point,
+                           use_cache=False)
+    assert calls["build"] >= 1 and calls["of"] == 0

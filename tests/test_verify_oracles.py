@@ -1,0 +1,96 @@
+"""Differential oracles: every registered oracle agrees on seeded scenarios,
+and the registry/failure-arbitration plumbing behaves."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.verify.oracles import (
+    ORACLES,
+    _compare_failures,
+    default_library,
+    oracle,
+    select_oracles,
+)
+from repro.verify.scenarios import generate_scenario
+
+EXPECTED_ORACLES = ("area-recovery", "sequential-slack", "executor-modes",
+                    "pipeline-cache", "pareto-front")
+
+
+def test_registry_contains_the_documented_oracles_in_order():
+    assert tuple(ORACLES) == EXPECTED_ORACLES
+    for entry in ORACLES.values():
+        assert entry.description
+
+
+def test_select_oracles_resolves_names_and_rejects_unknown():
+    assert [o.name for o in select_oracles(None)] == list(EXPECTED_ORACLES)
+    assert [o.name for o in select_oracles(["pipeline-cache"])] \
+        == ["pipeline-cache"]
+    with pytest.raises(ReproError):
+        select_oracles(["no-such-oracle"])
+
+
+def test_duplicate_oracle_registration_is_rejected():
+    with pytest.raises(ReproError):
+        oracle("area-recovery", "duplicate")(lambda spec, library: "")
+
+
+@pytest.mark.parametrize("name", EXPECTED_ORACLES)
+@pytest.mark.parametrize("seed", (0, 1, 2, 3))
+def test_oracles_agree_on_generated_scenarios(name, seed):
+    """The standing claim of the verification layer: on any generated
+    scenario every pair of engines agrees.  A failure here is a real bug in
+    one of the paired implementations (replay it via the printed seed)."""
+    spec = generate_scenario(seed)
+    outcome = ORACLES[name].run(spec, default_library())
+    assert outcome.ok, (
+        f"oracle {name} found a violation on seed {seed}: {outcome.details}")
+
+
+def test_oracles_agree_on_a_branchy_and_a_pipelined_scenario():
+    branchy = next(spec for spec in (generate_scenario(s) for s in range(50))
+                   if any(seg[0] == "diamond" for seg in spec.segments))
+    pipelined = next(spec for spec in (generate_scenario(s) for s in range(300))
+                     if spec.pipeline_ii is not None)
+    for spec in (branchy, pipelined):
+        for entry in ORACLES.values():
+            outcome = entry.run(spec)
+            assert outcome.ok, (
+                f"{entry.name} on seed {spec.seed}: {outcome.details}")
+
+
+def test_compare_failures_arbitration():
+    # Both sides succeed: proceed to value comparison.
+    assert _compare_failures("a", None, "b", None) is None
+    # Both sides fail identically: agreement (empty violation).
+    assert _compare_failures("a", "ReproError: x", "b", "ReproError: x") == ""
+    # Asymmetric failures are violations.
+    assert "disagree" in _compare_failures("a", "ReproError: x", "b", None)
+    assert "disagree" in _compare_failures("a", None, "b", "ReproError: x")
+    assert "disagree" in _compare_failures("a", "ReproError: x",
+                                           "b", "ReproError: y")
+
+
+def test_outcome_details_name_the_disagreement(monkeypatch):
+    """Force a real divergence and check it is caught: a patched
+    recover_area that skips every downgrade must trip the area-recovery
+    oracle on a scenario where recovery finds work."""
+    import repro.verify.oracles as oracles_mod
+    from repro.rtl.area_recovery import AreaRecoveryResult
+
+    def no_recovery(datapath, register_margin=0.0, max_rounds=1000):
+        area = datapath.binding.total_fu_area()
+        return AreaRecoveryResult(downgrades=0, area_before=area,
+                                  area_after=area)
+
+    monkeypatch.setattr(oracles_mod, "recover_area", no_recovery)
+    caught = False
+    for seed in range(20):
+        outcome = ORACLES["area-recovery"].run(generate_scenario(seed))
+        if not outcome.ok:
+            caught = True
+            assert "downgrades" in outcome.details \
+                or "area_after" in outcome.details
+            break
+    assert caught, "no scenario in the first 20 exercised area recovery"

@@ -120,3 +120,138 @@ def test_kernel_parameter_validation():
         fft_stage_design(points=3)
     with pytest.raises(ValueError):
         random_layered_design(layers=0)
+
+
+# -- seeded generator: seed resolution and mixed widths -----------------------------
+
+
+def test_random_generator_resolves_seed_none_reproducibly():
+    """seed=None must resolve to a concrete seed that replays the design.
+
+    The old behaviour seeded random.Random(None) from OS entropy and threw
+    the seed away, so a failing draw could never be reproduced.
+    """
+    from repro.core.analysis_cache import design_fingerprint
+    from repro.workloads import random_layered_design_seeded
+
+    design, resolved = random_layered_design_seeded(seed=None, layers=2,
+                                                    ops_per_layer=3)
+    assert isinstance(resolved, int)
+    assert design.attrs["seed"] == resolved
+    replay, resolved_again = random_layered_design_seeded(seed=resolved,
+                                                          layers=2,
+                                                          ops_per_layer=3)
+    assert resolved_again == resolved
+    assert design_fingerprint(replay) == design_fingerprint(design)
+
+
+def test_random_generator_stamps_resolved_seed_in_plain_form():
+    design = random_layered_design(seed=None, layers=1, ops_per_layer=2)
+    assert isinstance(design.attrs["seed"], int)
+
+
+def test_resolve_seed_passthrough_and_draw():
+    from repro.workloads import resolve_seed
+
+    assert resolve_seed(17) == 17
+    drawn = resolve_seed(None)
+    assert 0 <= drawn < 2 ** 32
+
+
+def test_random_generator_width_choices_mix_bitwidths():
+    design = random_layered_design(seed=5, layers=2, ops_per_layer=4,
+                                   width_choices=(8, 24))
+    widths = {op.width for op in design.dfg.operations
+              if op.kind is OpKind.READ}
+    assert widths <= {8, 24} and len(widths) == 2
+    for op in design.dfg.operations:
+        if op.operand_widths:
+            assert op.width == max(op.operand_widths)
+    assert validate_design(design) == []
+
+
+# -- segmented designs --------------------------------------------------------------
+
+
+SEGMENTS = (
+    ("linear", (("add", 0, 1), ("mul", 2, 0))),
+    ("diamond", (("sub", 1, 2),), (("mul", 0, 3),), (("add", 2, 2),),
+     (("shl", 4, 1),)),
+)
+
+
+def test_segmented_design_builds_branchy_multi_bb_cfg():
+    from repro.workloads import segmented_design
+    from repro.ir.cfg import NodeKind
+
+    design = segmented_design(SEGMENTS, inputs=(8, 16), outputs=2,
+                              tail_states=1, clock_period=1500.0)
+    assert validate_design(design) == []
+    kinds = {node.kind for node in design.cfg.nodes}
+    assert NodeKind.BRANCH in kinds and NodeKind.MERGE in kinds
+    # 1 linear + 3 diamond states + 1 tail wait state.
+    assert len(design.cfg.state_nodes) == 5
+    counts = design.dfg.count_by_kind()
+    assert counts[OpKind.MUX] == 1       # one mux per diamond
+    assert counts[OpKind.GT] >= 1        # the automatic branch condition
+    assert counts[OpKind.READ] == 2 and counts[OpKind.WRITE] == 2
+    assert any(e.backward for e in design.cfg.edges)  # process loop
+
+
+def test_segmented_design_is_a_pure_function_of_the_spec():
+    from repro.core.analysis_cache import design_fingerprint
+    from repro.workloads import segmented_design
+
+    a = segmented_design(SEGMENTS, inputs=(8, 16))
+    b = segmented_design(SEGMENTS, inputs=(8, 16))
+    assert design_fingerprint(a) == design_fingerprint(b)
+    wider = segmented_design(SEGMENTS, inputs=(8, 32))
+    assert design_fingerprint(wider) != design_fingerprint(a)
+
+
+def test_segmented_design_indices_wrap_modulo_visible_values():
+    """Out-of-range operand indices must still build (shrink relies on it)."""
+    from repro.workloads import segmented_design
+
+    design = segmented_design(
+        (("linear", (("add", 10 ** 6, 12345),)),), inputs=(8,))
+    assert validate_design(design) == []
+
+
+def test_segmented_design_empty_diamond_arms_fall_back_to_main_values():
+    from repro.workloads import segmented_design
+
+    design = segmented_design(
+        (("diamond", (), (), (), ()),), inputs=(16,))
+    assert validate_design(design) == []
+    counts = design.dfg.count_by_kind()
+    assert counts[OpKind.MUX] == 1
+
+
+def test_segmented_design_parameter_validation():
+    from repro.errors import IRError
+    from repro.workloads import segmented_design
+
+    with pytest.raises(IRError):
+        segmented_design((), inputs=(8,))
+    with pytest.raises(IRError):
+        segmented_design(SEGMENTS, inputs=())
+    with pytest.raises(IRError):
+        segmented_design(SEGMENTS, inputs=(8,), outputs=0)
+    with pytest.raises(IRError):
+        segmented_design((("spiral", ()),), inputs=(8,))
+    with pytest.raises(IRError):
+        segmented_design((("linear", (("frobnicate", 0, 0),)),), inputs=(8,))
+
+
+def test_segmented_point_factory_is_picklable_and_stable():
+    import pickle
+
+    from repro.core.analysis_cache import design_fingerprint
+    from repro.flows import DesignPoint
+    from repro.workloads import SegmentedPointFactory
+
+    factory = SegmentedPointFactory(segments=SEGMENTS, inputs=(8, 16))
+    clone = pickle.loads(pickle.dumps(factory))
+    point = DesignPoint(name="p0", latency=4, clock_period=1500.0)
+    assert design_fingerprint(clone(point)) == design_fingerprint(factory(point))
