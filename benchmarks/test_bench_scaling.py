@@ -9,16 +9,22 @@ is visible in the benchmark report.
 
 import pytest
 
-from repro.core.bellman_ford import compute_sequential_slack_bellman_ford
+from repro.core.bellman_ford import (
+    compute_sequential_slack_bellman_ford,
+    compute_sequential_slack_bellman_ford_reference,
+)
 from repro.core.budgeting import budget_slack
-from repro.core.sequential_slack import compute_sequential_slack
+from repro.core.sequential_slack import (
+    compute_sequential_slack,
+    compute_sequential_slack_reference,
+)
 from repro.core.timed_dfg import build_timed_dfg
 from repro.ir.operations import OpKind
 from repro.lib import tsmc90_library
 from repro.workloads import random_layered_design
 
 _LIBRARY = tsmc90_library()
-_SIZES = [(4, 8), (8, 12), (12, 16)]   # (layers, ops per layer)
+_SIZES = [(4, 8), (8, 12), (12, 16), (16, 24)]   # (layers, ops per layer)
 
 
 def _prepared(layers, ops):
@@ -40,11 +46,34 @@ def test_sequential_slack_scaling(benchmark, layers, ops):
 
 
 @pytest.mark.parametrize("layers,ops", _SIZES)
+def test_sequential_slack_reference_scaling(benchmark, layers, ops):
+    """The pre-graphkit dict-based implementation, benchmarked alongside the
+    CSR kernel (same group) so the smoke-job timing artifact records the
+    old-vs-new kernel wall time on every run."""
+    _, timed, delays = _prepared(layers, ops)
+    benchmark.group = f"slack-{layers}x{ops}"
+    result = benchmark(
+        lambda: compute_sequential_slack_reference(timed, delays, 2000.0))
+    assert result.slack
+
+
+@pytest.mark.parametrize("layers,ops", _SIZES)
 def test_bellman_ford_scaling(benchmark, layers, ops):
     _, timed, delays = _prepared(layers, ops)
     benchmark.group = f"slack-{layers}x{ops}"
     result = benchmark(
         lambda: compute_sequential_slack_bellman_ford(timed, delays, 2000.0))
+    assert result.slack
+
+
+@pytest.mark.parametrize("layers,ops", _SIZES)
+def test_bellman_ford_reference_scaling(benchmark, layers, ops):
+    """Old-vs-new for the constraint-graph baseline (see above)."""
+    _, timed, delays = _prepared(layers, ops)
+    benchmark.group = f"slack-{layers}x{ops}"
+    result = benchmark(
+        lambda: compute_sequential_slack_bellman_ford_reference(
+            timed, delays, 2000.0))
     assert result.slack
 
 

@@ -74,7 +74,13 @@ def test_table5_relative_times(benchmark, library, design):
     timed = build_timed_dfg(design)
     delays = {op.name: library.operation_delay(op)
               for op in design.dfg.operations if op.kind is not OpKind.CONST}
-    repeats = 3
+    # Warm both paths once outside the timed windows: the first call on a
+    # fresh timed DFG pays the one-time CSR interning / edge-order caching
+    # (see repro.core.graphkit), which would otherwise be billed to
+    # whichever implementation happens to run first.
+    compute_sequential_slack(timed, delays, CLOCK)
+    compute_sequential_slack_bellman_ford(timed, delays, CLOCK)
+    repeats = 10
     t0 = time.perf_counter()
     for _ in range(repeats):
         compute_sequential_slack(timed, delays, CLOCK)

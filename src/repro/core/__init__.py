@@ -18,19 +18,28 @@
 * :mod:`repro.core.analysis_cache` — keyed, bounded caches for the pure
   per-design analyses (point artifacts, pinned spans/timed DFGs,
   sequential-slack results) shared by the flows and the DSE engine.
+* :mod:`repro.core.graphkit` — the compact CSR graph substrate the timing
+  kernels run on (interned node indices, array-backed adjacency, cached
+  topological orders); the ``*_reference`` functions keep the original
+  dict-based implementations as executable specifications.
 """
 
 from repro.core.latency import LatencyAnalysis
 from repro.core.opspan import OperationSpans, SpanInfo
 from repro.core.timed_dfg import TimedDFG, TimedEdge, build_timed_dfg
+from repro.core.graphkit import CompactTimedGraph, kernel_vs_reference_problems
 from repro.core.sequential_slack import (
     TimingResult,
     compute_sequential_slack,
+    compute_sequential_slack_reference,
     compute_arrival_times,
     compute_required_times,
 )
 from repro.core.analysis_cache import AnalysisCache, default_cache, design_fingerprint
-from repro.core.bellman_ford import compute_sequential_slack_bellman_ford
+from repro.core.bellman_ford import (
+    compute_sequential_slack_bellman_ford,
+    compute_sequential_slack_bellman_ford_reference,
+)
 from repro.core.budgeting import BudgetingResult, budget_slack
 from repro.core.feasibility import FeasibilityReport, check_feasibility, schedule_from_arrival_times
 
@@ -53,11 +62,15 @@ __all__ = [
     "TimedDFG",
     "TimedEdge",
     "build_timed_dfg",
+    "CompactTimedGraph",
+    "kernel_vs_reference_problems",
     "TimingResult",
     "compute_sequential_slack",
+    "compute_sequential_slack_reference",
     "compute_arrival_times",
     "compute_required_times",
     "compute_sequential_slack_bellman_ford",
+    "compute_sequential_slack_bellman_ford_reference",
     "AnalysisCache",
     "default_cache",
     "design_fingerprint",

@@ -18,6 +18,7 @@ from repro.core.sequential_slack import (
     TimingResult,
     aligned_required,
     aligned_start,
+    timing_result_from_kernel,
 )
 from repro.core.timed_dfg import TimedDFG
 
@@ -31,13 +32,46 @@ def compute_sequential_slack_bellman_ford(
     aligned: bool = False,
     max_passes: int = 0,
 ) -> TimingResult:
-    """Sequential slack via Bellman-Ford relaxation.
+    """Sequential slack via Bellman-Ford relaxation (CSR-kernel fast path).
 
     ``max_passes`` limits the number of relaxation sweeps (0 means the
     standard ``|V|`` bound).  A :class:`TimingError` is raised if the values
     have not converged within the bound, which would indicate a positive
     cycle in the constraint graph (i.e. a cyclic timed DFG).
+
+    Runs on the interned CSR snapshot of ``timed`` (see
+    :mod:`repro.core.graphkit`), relaxing edges in the same neutral
+    name-sorted order as
+    :func:`compute_sequential_slack_bellman_ford_reference`; results are
+    bit-for-bit identical (asserted by the ``graphkit-kernels`` verify
+    oracle and the seeded property suite).
     """
+    from repro.core.graphkit import (
+        bellman_ford_arrival_kernel,
+        bellman_ford_required_kernel,
+    )
+
+    if clock_period <= 0:
+        raise TimingError("clock period must be positive")
+    graph = timed.compact()
+    delay_vec = graph.delay_vector(delays)
+    arrival = bellman_ford_arrival_kernel(
+        graph, delay_vec, clock_period, aligned=aligned, max_passes=max_passes)
+    required = bellman_ford_required_kernel(
+        graph, delay_vec, clock_period, aligned=aligned, max_passes=max_passes)
+    return timing_result_from_kernel(graph, arrival, required, delay_vec,
+                                     clock_period, aligned)
+
+
+def compute_sequential_slack_bellman_ford_reference(
+    timed: TimedDFG,
+    delays: Mapping[str, float],
+    clock_period: float,
+    aligned: bool = False,
+    max_passes: int = 0,
+) -> TimingResult:
+    """Reference Bellman-Ford: dict-based edge relaxation, kept as the
+    executable specification of the CSR kernels (see module docstring)."""
     if clock_period <= 0:
         raise TimingError("clock period must be positive")
     nodes = timed.nodes

@@ -92,18 +92,26 @@ class _BudgetState:
         self.pinned: Set[str] = set()
         self.frozen: Set[str] = set()
         self.ops: Dict[str, Operation] = {}
+        # op name -> resource class (None for non-synthesizable operations).
+        # Resolved once here: the budgeting loops ask for the class of every
+        # candidate on every iteration, and the per-call library lookup used
+        # to dominate the whole pass's profile.
+        self.classes: Dict[str, Optional[object]] = {}
 
         for op in design.dfg.operations:
             if op.kind is OpKind.CONST:
                 continue
             self.ops[op.name] = op
+            synthesizable = op.is_synthesizable
+            self.classes[op.name] = (library.class_for_op(op)
+                                     if synthesizable else None)
             if pinned and op.name in pinned:
                 variant = pinned[op.name]
                 self.variants[op.name] = variant
                 self.delays[op.name] = library.operation_delay(op, variant)
                 self.pinned.add(op.name)
                 continue
-            if not op.is_synthesizable:
+            if not synthesizable:
                 self.variants[op.name] = None
                 self.delays[op.name] = library.operation_delay(op)
                 self.pinned.add(op.name)
@@ -125,7 +133,11 @@ class _BudgetState:
         self.delays[name] = variant.delay
 
     def resource_class(self, name: str):
-        return self.library.class_for_op(self.ops[name])
+        return self.classes[name]
+
+    def max_grades(self) -> int:
+        return max((cls.num_grades for cls in self.classes.values()
+                    if cls is not None), default=1)
 
 
 def budget_slack(
@@ -183,9 +195,8 @@ def budget_slack(
     margin = abs(margin_fraction) * clock_period
 
     state = _BudgetState(design, library, initial_variants, pinned_variants, start_from)
-    max_grades = max((library.class_for_op(op).num_grades
-                      for op in state.ops.values() if op.is_synthesizable), default=1)
-    iteration_budget = max_iterations or (20 * max(len(state.ops), 1) * max_grades)
+    iteration_budget = max_iterations or (20 * max(len(state.ops), 1)
+                                          * state.max_grades())
 
     iterations = 0
     upgrades = 0
@@ -239,10 +250,11 @@ def budget_slack(
     feasible_baseline = timing.worst_slack() >= -_EPS
     while iterations < iteration_budget:
         candidates: List[Tuple[float, float, str, ResourceVariant]] = []
+        slack_map = timing.slack
         for name, variant in state.variants.items():
             if variant is None or not state.movable(name):
                 continue
-            slack = timing.slack_of(name)
+            slack = slack_map[name]
             if slack <= margin + _EPS:
                 continue
             slower = state.resource_class(name).next_slower(variant)

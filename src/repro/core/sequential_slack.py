@@ -177,18 +177,18 @@ def compute_required_times(
     return required
 
 
-def compute_sequential_slack(
+def compute_sequential_slack_reference(
     timed: TimedDFG,
     delays: Mapping[str, float],
     clock_period: float,
     aligned: bool = False,
 ) -> TimingResult:
-    """Sequential (or aligned) slack of every operation node of ``timed``.
+    """Reference sequential slack: two dict-based passes over the timed DFG.
 
-    ``delays`` maps operation names to their assumed delays; missing entries
-    default to zero (constants, copies).  Sink nodes always have zero delay.
-    Returns a :class:`TimingResult` keyed by *operation* names only — sink
-    nodes are an implementation detail and are stripped from the result.
+    This is the original edge-by-edge implementation, kept as the executable
+    specification of :func:`compute_sequential_slack` (the CSR-kernel fast
+    path).  The ``graphkit-kernels`` verify oracle and the seeded property
+    suite assert the two are equal float for float.
     """
     arrival = compute_arrival_times(timed, delays, clock_period, aligned=aligned)
     required = compute_required_times(timed, delays, clock_period, aligned=aligned)
@@ -207,3 +207,71 @@ def compute_sequential_slack(
         slack=slack,
         delays={name: float(delays.get(name, 0.0)) for name in timed.operation_nodes},
     )
+
+
+def timing_result_from_kernel(
+    graph,
+    arrival: Sequence[float],
+    required: Sequence[float],
+    delay_vec: Sequence[float],
+    clock_period: float,
+    aligned: bool,
+) -> TimingResult:
+    """Export kernel result vectors as an operation-keyed :class:`TimingResult`.
+
+    The single export path for both the topological and the Bellman-Ford
+    kernel pairs: iterating ``graph.op_indices`` (operation insertion order)
+    reproduces the reference implementations' dict key order exactly, which
+    downstream tie-breaks observe — keep any change here in sync with the
+    ``*_reference`` functions.
+    """
+    names = graph.names
+    slack: Dict[str, float] = {}
+    op_arrival: Dict[str, float] = {}
+    op_required: Dict[str, float] = {}
+    op_delays: Dict[str, float] = {}
+    for index in graph.op_indices:
+        name = names[index]
+        arrival_value = arrival[index]
+        required_value = required[index]
+        op_arrival[name] = arrival_value
+        op_required[name] = required_value
+        slack[name] = required_value - arrival_value
+        op_delays[name] = delay_vec[index]
+    return TimingResult(
+        clock_period=clock_period,
+        aligned=aligned,
+        arrival=op_arrival,
+        required=op_required,
+        slack=slack,
+        delays=op_delays,
+    )
+
+
+def compute_sequential_slack(
+    timed: TimedDFG,
+    delays: Mapping[str, float],
+    clock_period: float,
+    aligned: bool = False,
+) -> TimingResult:
+    """Sequential (or aligned) slack of every operation node of ``timed``.
+
+    ``delays`` maps operation names to their assumed delays; missing entries
+    default to zero (constants, copies).  Sink nodes always have zero delay.
+    Returns a :class:`TimingResult` keyed by *operation* names only — sink
+    nodes are an implementation detail and are stripped from the result.
+
+    Runs on the interned CSR snapshot of ``timed`` (see
+    :mod:`repro.core.graphkit`); results are bit-for-bit identical to
+    :func:`compute_sequential_slack_reference`, including the key order of
+    the result dicts (operation insertion order), which downstream
+    tie-breaks observe.
+    """
+    from repro.core.graphkit import arrival_kernel, required_kernel
+
+    graph = timed.compact()
+    delay_vec = graph.delay_vector(delays)
+    arrival = arrival_kernel(graph, delay_vec, clock_period, aligned=aligned)
+    required = required_kernel(graph, delay_vec, clock_period, aligned=aligned)
+    return timing_result_from_kernel(graph, arrival, required, delay_vec,
+                                     clock_period, aligned)

@@ -212,11 +212,12 @@ class SlackScheduler:
                                                    aligned=True)
         priority = combined_priority(pass_timing, self._spans)
         edge_order = self._latency.forward_edge_names
+        edge_position = {name: index for index, name in enumerate(edge_order)}
 
         def post_edge_hook(edge_name: str, schedule: Schedule, pending):
             if not self.rebudget_every_edge or not pending:
                 return None
-            index = edge_order.index(edge_name)
+            index = edge_position[edge_name]
             if index + 1 >= len(edge_order):
                 return None
             next_edge = edge_order[index + 1]

@@ -10,12 +10,20 @@ computed.  It is derived from the DFG by:
    result must be committed to a register";
 4. weighting every edge with the CFG latency between the early edges of its
    endpoints (the number of clock boundaries that may separate them).
+
+Storage is flat: nodes are a list plus an interning dict, edges three
+parallel ``(src, dst, weight)`` lists.  The object views the older API
+exposed (:class:`TimedEdge` lists, per-node successor/predecessor lists) are
+materialized lazily on first use — the timing kernels never ask for them;
+they run on the :meth:`TimedDFG.compact` CSR snapshot
+(:class:`repro.core.graphkit.CompactTimedGraph`), which is cached per graph
+and invalidated by any mutation, exactly like the cached topological order.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import TimingError
 from repro.ir.design import Design
@@ -51,34 +59,44 @@ class TimedDFG:
     def __init__(self, name: str = "timed_dfg"):
         self.name = name
         self._nodes: List[str] = []
-        self._node_set: Dict[str, bool] = {}
-        self._edges: List[TimedEdge] = []
-        self._succ: Dict[str, List[TimedEdge]] = {}
-        self._pred: Dict[str, List[TimedEdge]] = {}
+        self._node_index: Dict[str, int] = {}
+        self._edge_src: List[str] = []
+        self._edge_dst: List[str] = []
+        self._edge_weight: List[int] = []
+        # Lazily materialized views and caches (dropped on any mutation).
+        self._edge_objs: Optional[List[TimedEdge]] = None
+        self._succ: Optional[Dict[str, List[TimedEdge]]] = None
+        self._pred: Optional[Dict[str, List[TimedEdge]]] = None
         self._topo: Optional[List[str]] = None
+        self._compact = None
 
     # -- construction -----------------------------------------------------------
 
-    def add_node(self, name: str) -> None:
-        if name in self._node_set:
-            raise TimingError(f"duplicate timed-DFG node {name!r}")
-        self._nodes.append(name)
-        self._node_set[name] = True
-        self._succ[name] = []
-        self._pred[name] = []
+    def _invalidate(self) -> None:
+        self._edge_objs = None
+        self._succ = None
+        self._pred = None
         self._topo = None
+        self._compact = None
+
+    def add_node(self, name: str) -> None:
+        if name in self._node_index:
+            raise TimingError(f"duplicate timed-DFG node {name!r}")
+        self._node_index[name] = len(self._nodes)
+        self._nodes.append(name)
+        self._invalidate()
 
     def add_edge(self, src: str, dst: str, weight: int) -> None:
+        node_index = self._node_index
         for endpoint in (src, dst):
-            if endpoint not in self._node_set:
+            if endpoint not in node_index:
                 raise TimingError(f"timed-DFG edge references unknown node {endpoint!r}")
         if weight < 0:
             raise TimingError("timed-DFG edge weights are state counts and must be >= 0")
-        edge = TimedEdge(src, dst, int(weight))
-        self._edges.append(edge)
-        self._succ[src].append(edge)
-        self._pred[dst].append(edge)
-        self._topo = None
+        self._edge_src.append(src)
+        self._edge_dst.append(dst)
+        self._edge_weight.append(int(weight))
+        self._invalidate()
 
     # -- accessors ---------------------------------------------------------------
 
@@ -86,9 +104,26 @@ class TimedDFG:
     def nodes(self) -> List[str]:
         return list(self._nodes)
 
+    def node_names(self) -> Tuple[str, ...]:
+        """All node names in insertion order (shared tuple — do not mutate)."""
+        return tuple(self._nodes)
+
     @property
     def edges(self) -> List[TimedEdge]:
-        return list(self._edges)
+        return list(self._edge_view())
+
+    def _edge_view(self) -> List[TimedEdge]:
+        if self._edge_objs is None:
+            self._edge_objs = [
+                TimedEdge(src, dst, weight)
+                for src, dst, weight in zip(self._edge_src, self._edge_dst,
+                                            self._edge_weight)
+            ]
+        return self._edge_objs
+
+    def edge_triples(self):
+        """Edges as ``(src, dst, weight)`` name triples, insertion order."""
+        return zip(self._edge_src, self._edge_dst, self._edge_weight)
 
     @property
     def operation_nodes(self) -> List[str]:
@@ -101,44 +136,54 @@ class TimedDFG:
 
     @property
     def num_edges(self) -> int:
-        return len(self._edges)
+        return len(self._edge_src)
 
     def has_node(self, name: str) -> bool:
-        return name in self._node_set
+        return name in self._node_index
+
+    def _adjacency(self) -> Tuple[Dict[str, List[TimedEdge]], Dict[str, List[TimedEdge]]]:
+        if self._succ is None or self._pred is None:
+            succ: Dict[str, List[TimedEdge]] = {n: [] for n in self._nodes}
+            pred: Dict[str, List[TimedEdge]] = {n: [] for n in self._nodes}
+            for edge in self._edge_view():
+                succ[edge.src].append(edge)
+                pred[edge.dst].append(edge)
+            self._succ = succ
+            self._pred = pred
+        return self._succ, self._pred
 
     def successors(self, name: str) -> List[TimedEdge]:
-        return list(self._succ[name])
+        return list(self._adjacency()[0][name])
 
     def predecessors(self, name: str) -> List[TimedEdge]:
-        return list(self._pred[name])
+        return list(self._adjacency()[1][name])
+
+    def compact(self):
+        """The cached CSR snapshot of this graph (see :mod:`repro.core.graphkit`).
+
+        Rebuilt after any mutation; treat the returned object as immutable.
+        """
+        if self._compact is None:
+            from repro.core.graphkit import CompactTimedGraph
+
+            self._compact = CompactTimedGraph.from_timed(self)
+        return self._compact
 
     def topological_order(self) -> List[str]:
-        """Topological order of all nodes; cached."""
-        if self._topo is not None:
-            return list(self._topo)
-        indeg = {name: len(self._pred[name]) for name in self._nodes}
-        position = {name: index for index, name in enumerate(self._nodes)}
-        ready = sorted((n for n, d in indeg.items() if d == 0),
-                       key=position.__getitem__)
-        order: List[str] = []
-        while ready:
-            node = ready.pop(0)
-            order.append(node)
-            fresh = []
-            for edge in self._succ[node]:
-                indeg[edge.dst] -= 1
-                if indeg[edge.dst] == 0:
-                    fresh.append(edge.dst)
-            fresh.sort(key=position.__getitem__)
-            ready.extend(fresh)
-            ready.sort(key=position.__getitem__)
-        if len(order) != len(self._nodes):
-            raise TimingError("timed DFG is cyclic — backward edges were not removed")
-        self._topo = order
-        return list(order)
+        """Topological order of all nodes; cached.
+
+        Computed on the compact CSR view (min-insertion-position-first Kahn,
+        the same order the original dict-based implementation produced); a
+        cyclic graph raises :class:`TimingError`.
+        """
+        if self._topo is None:
+            names = self._nodes
+            self._topo = [names[index] for index in self.compact().topo]
+        return list(self._topo)
 
     def __repr__(self):  # pragma: no cover - cosmetic
-        return f"TimedDFG({self.name}: {len(self._nodes)} nodes, {len(self._edges)} edges)"
+        return (f"TimedDFG({self.name}: {len(self._nodes)} nodes, "
+                f"{len(self._edge_src)} edges)")
 
 
 def build_timed_dfg(

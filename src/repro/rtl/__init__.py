@@ -10,7 +10,12 @@ reports area and power.
 
 from repro.rtl.datapath import Datapath, build_datapath
 from repro.rtl.area import AreaReport, area_report
-from repro.rtl.timing import StateTimingReport, analyze_state_timing
+from repro.rtl.timing import (
+    StateTimingKernel,
+    StateTimingReport,
+    analyze_state_timing,
+    analyze_state_timing_reference,
+)
 from repro.rtl.incremental_timing import IncrementalStateTiming
 from repro.rtl.area_recovery import (
     AreaRecoveryResult,
@@ -25,8 +30,10 @@ __all__ = [
     "build_datapath",
     "AreaReport",
     "area_report",
+    "StateTimingKernel",
     "StateTimingReport",
     "analyze_state_timing",
+    "analyze_state_timing_reference",
     "IncrementalStateTiming",
     "AreaRecoveryResult",
     "recover_area",

@@ -7,8 +7,8 @@ operations bound to that instance, and combinational chains never cross a
 state boundary, so only the states the instance participates in can change.
 :class:`IncrementalStateTiming` exploits that: it holds a cached
 :class:`~repro.rtl.timing.StateTimingReport` and, when one instance changes
-variant, re-runs the shared per-state kernel
-(:func:`repro.rtl.timing.recompute_state`) over exactly those states —
+variant, re-runs the shared interned per-state kernel
+(:class:`repro.rtl.timing.StateTimingKernel`) over exactly those states —
 looked up via the :meth:`repro.rtl.datapath.Datapath.instance_edges` index —
 and splices the fresh values into the report.
 
@@ -26,15 +26,8 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, List, Tuple
 
-from repro.errors import TimingError
 from repro.rtl.datapath import Datapath
-from repro.rtl.timing import (
-    StateTimingReport,
-    analyze_state_timing,
-    recompute_state,
-    scheduled_ops_by_edge,
-    usable_clock_period,
-)
+from repro.rtl.timing import StateTimingKernel, StateTimingReport
 
 _EPS = 1e-6
 
@@ -60,19 +53,13 @@ class IncrementalStateTiming:
     def __init__(self, datapath: Datapath, register_margin: float = 0.0):
         self.datapath = datapath
         self.register_margin = register_margin
-        self._usable_period = usable_clock_period(datapath, register_margin)
-        self._edge_ops: Dict[str, List[str]] = scheduled_ops_by_edge(datapath)
-        self.report: StateTimingReport = analyze_state_timing(
-            datapath, register_margin=register_margin)
+        self._kernel = StateTimingKernel(datapath, register_margin)
+        self.report: StateTimingReport = self._kernel.full_report()
 
     # -- patching ----------------------------------------------------------------
 
     def _ops_of(self, edge: str) -> List[str]:
-        try:
-            return self._edge_ops[edge]
-        except KeyError:
-            raise TimingError(
-                f"no scheduled operations on CFG edge {edge!r}") from None
+        return self._kernel.ops_of(edge)
 
     def instance_edges(self, instance_name: str) -> FrozenSet[str]:
         """The states a variant change of ``instance_name`` can affect."""
@@ -81,9 +68,9 @@ class IncrementalStateTiming:
     def recompute_edges(self, edges: Iterable[str]) -> None:
         """Re-run the per-state kernel over ``edges`` and patch the report."""
         report = self.report
+        kernel = self._kernel
         for edge in edges:
-            starts, finishes, slacks, critical = recompute_state(
-                self.datapath, self._ops_of(edge), self._usable_period)
+            starts, finishes, slacks, critical = kernel.state(edge)
             report.op_start.update(starts)
             report.op_finish.update(finishes)
             report.op_slack.update(slacks)

@@ -12,18 +12,29 @@ recomputes the combinational chains inside every control step and reports
 The combinational chains of one state never cross into another state (the
 forward pass only follows same-edge predecessors, the backward pass only
 same-edge successors), so the analysis decomposes exactly per state.
-:func:`recompute_state` is that per-state kernel; :func:`analyze_state_timing`
-runs it over every state, and
-:class:`repro.rtl.incremental_timing.IncrementalStateTiming` re-runs it over
-only the states an FU-instance variant change touches and splices the results
-into a cached report.  Both paths execute the same float operations in the
-same order, so a patched report is bit-for-bit equal to a full recompute.
+
+Two implementations of the per-state computation live here:
+
+* :class:`StateTimingKernel` (the default) interns every state's scheduled
+  operations once — same-state predecessor/successor index lists, resolved
+  delay sources — so re-evaluating a state is a flat pass over small integer
+  lists (the :mod:`repro.core.graphkit` treatment applied to the RTL layer).
+  :func:`analyze_state_timing` runs it over every state, and
+  :class:`repro.rtl.incremental_timing.IncrementalStateTiming` re-runs it
+  over only the states an FU-instance variant change touches and splices
+  the results into a cached report.  Both paths execute the same kernel, so
+  a patched report is bit-for-bit equal to a full recompute.
+* :func:`recompute_state` / :func:`analyze_state_timing_reference` are the
+  original per-op-name implementations, kept as the executable
+  specification: the kernel replays their float operations exactly
+  (asserted by the ``graphkit-state-timing`` verify oracle and the test
+  suite).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import TimingError
 from repro.ir.operations import OpKind
@@ -150,14 +161,181 @@ def usable_clock_period(datapath: Datapath, register_margin: float) -> float:
     return usable
 
 
+class StateTimingKernel:
+    """Interned per-state timing evaluator for one datapath.
+
+    Built once per datapath: every state's scheduled operations are mapped
+    to dense positions, same-state predecessor/successor relations become
+    small integer lists, and each operation's delay source is resolved to
+    either a static float (constants, I/O, unbound fallbacks — all fixed for
+    the datapath's lifetime) or its bound instance (variant delay and input
+    mux delay are read live, because area recovery retunes variants and
+    :meth:`repro.rtl.datapath.Datapath.refresh_interconnect` swaps the
+    interconnect estimate).
+
+    The schedule and the binding structure must not change for the lifetime
+    of a kernel — the same contract as
+    :class:`repro.rtl.incremental_timing.IncrementalStateTiming`, which runs
+    on one.  :meth:`state` replays the float operations of
+    :func:`recompute_state` exactly, so kernel results are bit-for-bit equal
+    to the reference (and identical between full and patched evaluations).
+    """
+
+    def __init__(self, datapath: Datapath, register_margin: float = 0.0):
+        self.datapath = datapath
+        self.register_margin = register_margin
+        self.usable_period = usable_clock_period(datapath, register_margin)
+        self._groups: Dict[str, List[str]] = scheduled_ops_by_edge(datapath)
+        #: edge -> (ops, static_delays, instances, pred_positions, succ_positions)
+        self._interned: Dict[str, tuple] = {}
+        design = datapath.design
+        dfg = design.dfg
+        library = datapath.library
+        schedule = datapath.schedule
+        binding = datapath.binding
+        for edge, edge_ops in self._groups.items():
+            position_of = {name: index for index, name in enumerate(edge_ops)}
+            static_delays: List[Optional[float]] = []
+            instances: List[Optional[object]] = []
+            pred_positions: List[List[int]] = []
+            succ_positions: List[List[int]] = []
+            for name in edge_ops:
+                op = dfg.op(name)
+                if op.kind is OpKind.CONST:
+                    static_delays.append(0.0)
+                    instances.append(None)
+                elif not op.is_synthesizable:
+                    static_delays.append(library.operation_delay(op))
+                    instances.append(None)
+                else:
+                    try:
+                        instance = binding.instance_of(name)
+                    except Exception:  # unbound; the fallback delay is fixed
+                        static_delays.append(library.operation_delay(
+                            op, schedule.variant_of(name)))
+                        instances.append(None)
+                    else:
+                        static_delays.append(None)
+                        instances.append(instance)
+                pred_positions.append(sorted(
+                    position_of[pred] for pred in dfg.predecessors(name)
+                    if pred in position_of))
+                succ_positions.append(sorted(
+                    position_of[succ] for succ in dfg.successors(name)
+                    if succ in position_of))
+            self._interned[edge] = (edge_ops, static_delays, instances,
+                                    pred_positions, succ_positions)
+
+    # -- queries --------------------------------------------------------------------
+
+    @property
+    def edges(self) -> List[str]:
+        """States with scheduled operations, in first-scheduled order."""
+        return list(self._groups)
+
+    def ops_of(self, edge: str) -> List[str]:
+        """Scheduled operations of ``edge`` (shared list — do not mutate)."""
+        try:
+            return self._groups[edge]
+        except KeyError:
+            raise TimingError(
+                f"no scheduled operations on CFG edge {edge!r}") from None
+
+    def state(self, edge: str) -> Tuple[Dict[str, float], Dict[str, float],
+                                        Dict[str, float], float]:
+        """Evaluate one state; returns ``(op_start, op_finish, op_slack,
+        critical_path)`` exactly like :func:`recompute_state`."""
+        try:
+            ops, static_delays, instances, pred_positions, succ_positions = \
+                self._interned[edge]
+        except KeyError:
+            raise TimingError(
+                f"no scheduled operations on CFG edge {edge!r}") from None
+        interconnect = self.datapath.interconnect
+        delay_before = interconnect.delay_before
+        count = len(ops)
+
+        delays = [0.0] * count
+        for index in range(count):
+            static = static_delays[index]
+            if static is not None:
+                delays[index] = static
+            else:
+                instance = instances[index]
+                delays[index] = instance.variant.delay + \
+                    delay_before(instance.name)
+
+        starts = [0.0] * count
+        finishes = [0.0] * count
+        critical = 0.0
+        for index in range(count):
+            start = 0.0
+            for pred in pred_positions[index]:
+                finish = finishes[pred]
+                if finish > start:
+                    start = finish
+            finish = start + delays[index]
+            starts[index] = start
+            finishes[index] = finish
+            if finish > critical:
+                critical = finish
+
+        usable = self.usable_period
+        latest = [0.0] * count
+        for index in range(count - 1, -1, -1):
+            delay = finishes[index] - starts[index]
+            allowed_finish = usable
+            for succ in succ_positions[index]:
+                candidate = latest[succ]
+                if candidate < allowed_finish:
+                    allowed_finish = candidate
+            latest[index] = allowed_finish - delay
+
+        op_start = dict(zip(ops, starts))
+        op_finish = dict(zip(ops, finishes))
+        op_slack = {name: latest[index] - starts[index]
+                    for index, name in enumerate(ops)}
+        return op_start, op_finish, op_slack, critical
+
+    def full_report(self) -> StateTimingReport:
+        """Evaluate every state into a fresh :class:`StateTimingReport`."""
+        op_start: Dict[str, float] = {}
+        op_finish: Dict[str, float] = {}
+        op_slack: Dict[str, float] = {}
+        state_critical: Dict[str, float] = {}
+        for edge in self._groups:
+            starts, finishes, slacks, critical = self.state(edge)
+            op_start.update(starts)
+            op_finish.update(finishes)
+            op_slack.update(slacks)
+            state_critical[edge] = critical
+        return StateTimingReport(
+            clock_period=self.datapath.clock_period,
+            state_critical_path=state_critical,
+            op_start=op_start,
+            op_finish=op_finish,
+            op_slack=op_slack,
+        )
+
+
 def analyze_state_timing(datapath: Datapath,
                          register_margin: float = 0.0) -> StateTimingReport:
     """Recompute within-state chains using bound-instance delays.
 
     ``register_margin`` is subtracted from the clock period to model register
     setup plus clock-to-q overhead (0 by default, matching the paper's
-    illustrative examples which ignore it).
+    illustrative examples which ignore it).  Runs on a fresh
+    :class:`StateTimingKernel`; bit-for-bit equal to
+    :func:`analyze_state_timing_reference`.
     """
+    return StateTimingKernel(datapath, register_margin).full_report()
+
+
+def analyze_state_timing_reference(datapath: Datapath,
+                                   register_margin: float = 0.0,
+                                   ) -> StateTimingReport:
+    """The original full recompute via :func:`recompute_state`, kept as the
+    executable specification of the interned kernel."""
     usable = usable_clock_period(datapath, register_margin)
 
     op_start: Dict[str, float] = {}

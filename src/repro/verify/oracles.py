@@ -18,6 +18,14 @@ oracle                          equivalence under test
                                 process-wide analysis cache vs. a private bundle
 ``pareto-front``                :func:`repro.explore.pareto.front_invariant_violations`
                                 on a scenario-seeded generated front
+``graphkit-kernels``            CSR array kernels (sequential slack and
+                                Bellman-Ford, aligned and plain) vs. the
+                                dict-based ``*_reference`` implementations,
+                                **exact** float equality
+``graphkit-state-timing``       :func:`repro.rtl.timing.analyze_state_timing`
+                                (interned :class:`~repro.rtl.timing.StateTimingKernel`)
+                                vs. :func:`~repro.rtl.timing.analyze_state_timing_reference`,
+                                **exact** report equality
 ==============================  ==================================================
 
 Failure semantics: a scenario on which *both* sides fail with the same
@@ -51,9 +59,10 @@ from repro.core.bellman_ford import compute_sequential_slack_bellman_ford
 from repro.core.sequential_slack import compute_sequential_slack
 from repro.explore.pareto import FrontPoint, front_invariant_violations
 from repro.ir.operations import OpKind
+from repro.core.graphkit import kernel_vs_reference_problems
 from repro.rtl.area_recovery import recover_area, recover_area_reference
 from repro.rtl.incremental_timing import IncrementalStateTiming
-from repro.rtl.timing import analyze_state_timing
+from repro.rtl.timing import analyze_state_timing, analyze_state_timing_reference
 from repro.verify.scenarios import ScenarioSpec
 
 _ABS_TOL = 1e-6
@@ -299,6 +308,64 @@ def _check_pipeline_cache(spec: ScenarioSpec, library: Library) -> str:
     if json_cached != json_fresh:
         return "metrics with the analysis cache differ from a fresh bundle"
     return ""
+
+
+# -- oracle: graphkit CSR kernels vs reference implementations ---------------------
+
+
+@oracle("graphkit-kernels",
+        "CSR array kernels == dict-based *_reference implementations "
+        "(sequential slack and Bellman-Ford, aligned and plain, exact)")
+def _check_graphkit_kernels(spec: ScenarioSpec, library: Library) -> str:
+    design = spec.design()
+    artifacts = PointArtifacts.build(design)
+    delays = {
+        op.name: library.operation_delay(op, library.fastest_variant(op))
+        for op in design.dfg.operations
+        if op.kind is not OpKind.CONST and op.is_synthesizable
+    }
+    problems = kernel_vs_reference_problems(
+        artifacts.timed, delays, spec.clock_period)
+    return "; ".join(problems[:5])
+
+
+# -- oracle: interned state-timing kernel vs reference -----------------------------
+
+
+@oracle("graphkit-state-timing",
+        "interned StateTimingKernel analyze_state_timing == "
+        "analyze_state_timing_reference (exact report equality)")
+def _check_graphkit_state_timing(spec: ScenarioSpec, library: Library) -> str:
+    design = spec.design()
+
+    def build_flow():
+        return conventional_flow(
+            design, library, clock_period=spec.clock_period,
+            pipeline_ii=spec.pipeline_ii,
+            artifacts=PointArtifacts.build(design),
+        )
+
+    flow, error = _run_side(build_flow)
+    if error is not None:
+        # Legitimately infeasible: there is no datapath to compare on, and
+        # the feasibility arbitration itself is covered by the other oracles.
+        return ""
+    datapath = flow.datapath
+    kernel = analyze_state_timing(datapath)
+    reference = analyze_state_timing_reference(datapath)
+    problems: List[str] = []
+    if kernel.clock_period != reference.clock_period:
+        problems.append("clock periods differ")
+    for field_name in ("state_critical_path", "op_start", "op_finish",
+                       "op_slack"):
+        kernel_map = getattr(kernel, field_name)
+        reference_map = getattr(reference, field_name)
+        if kernel_map != reference_map:
+            keys = set(kernel_map) | set(reference_map)
+            diffs = [key for key in sorted(keys)
+                     if kernel_map.get(key) != reference_map.get(key)]
+            problems.append(f"{field_name} differs on {diffs[:3]}")
+    return "; ".join(problems)
 
 
 # -- oracle: Pareto front invariants on generated fronts ---------------------------

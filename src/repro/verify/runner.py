@@ -25,7 +25,13 @@ from typing import Callable, Dict, List, Optional
 
 from repro.lib.library import Library
 from repro.verify.corpus import Corpus
-from repro.verify.oracles import Oracle, OracleOutcome, default_library, select_oracles
+from repro.verify.oracles import (
+    ORACLES,
+    Oracle,
+    OracleOutcome,
+    default_library,
+    select_oracles,
+)
 from repro.verify.scenarios import ScenarioProfile, ScenarioSpec, scenario_stream
 from repro.verify.shrink import ShrinkResult, shrink_spec
 
@@ -187,15 +193,27 @@ def replay_corpus(
     is not in ``oracle_names`` when a filter is given).  A record whose
     scenario *no longer* fails is a fixed regression — ``repro-verify
     replay`` reports it as such instead of failing the run.
+
+    A record referencing an oracle that is no longer registered (renamed or
+    removed since the corpus was written) yields a failing outcome with a
+    clear ``unknown oracle`` message: the regression it memorialized is no
+    longer being checked, and silently skipping it would turn the corpus
+    replay gate into a false pass.
     """
     library = library if library is not None else default_library()
     allowed = {oracle.name for oracle in select_oracles(oracle_names)}
     outcomes: List[OracleOutcome] = []
     for record in corpus.records():
         name = record["oracle"]
-        if name not in allowed:
+        if oracle_names is not None and name not in allowed:
             continue
-        oracle = select_oracles([name])[0]
+        oracle = ORACLES.get(name)
+        if oracle is None:
+            outcomes.append(OracleOutcome(
+                oracle=name, ok=False,
+                details=f"unknown oracle {name!r}: not registered (renamed "
+                        f"or removed?); registered: {sorted(ORACLES)}"))
+            continue
         outcomes.append(run_oracle_guarded(oracle, corpus.spec_of(record),
                                            library))
     return outcomes

@@ -7,6 +7,7 @@ the perf-regression gate, the packaging smoke or the hygiene settings
 """
 
 import os
+import re
 
 import pytest
 
@@ -41,7 +42,7 @@ def _run_text(workflow, job):
 
 def test_workflow_parses_and_has_all_jobs(workflow):
     assert set(workflow["jobs"]) == {
-        "lint", "test", "bench-smoke", "package", "fuzz-nightly"}
+        "lint", "test", "coverage", "bench-smoke", "package", "fuzz-nightly"}
 
 
 def test_schedule_and_dispatch_triggers(workflow, triggers):
@@ -74,7 +75,7 @@ def test_every_setup_python_step_caches_pip(workflow):
                 saw_setup += 1
                 assert step.get("with", {}).get("cache") == "pip", (
                     f"setup-python without pip cache in {uses}")
-    assert saw_setup >= 5
+    assert saw_setup >= 6
 
 
 def test_pr_scoped_fuzz_smoke_runs_in_the_test_job(workflow):
@@ -95,6 +96,21 @@ def test_nightly_fuzz_job_budget_seed_and_artifact(workflow):
     assert any("fuzz-corpus" in str(step.get("with", {}).get("path", ""))
                for step in uploads)
     assert all(step.get("if") == "always()" for step in uploads)
+
+
+def test_coverage_gate_is_wired_and_pinned(workflow):
+    """The coverage job must measure src/repro over tests/ only and fail
+    under a pinned threshold — and the threshold cannot be quietly dropped
+    or lowered below its floor to make a PR pass."""
+    run_text = _run_text(workflow, "coverage")
+    assert "--cov=repro" in run_text
+    assert "pytest tests" in run_text, "coverage must exclude benchmarks/"
+    assert "benchmarks" not in run_text
+    match = re.search(r"--cov-fail-under=(\d+)", run_text)
+    assert match, "--cov-fail-under gate missing from the coverage job"
+    assert int(match.group(1)) >= 75, (
+        "coverage gate lowered below its floor; raise coverage instead")
+    assert "pytest-cov" in run_text
 
 
 def test_bench_job_runs_the_perf_regression_gate(workflow):

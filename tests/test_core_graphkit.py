@@ -1,0 +1,198 @@
+"""The compact CSR graph substrate (repro.core.graphkit).
+
+Two layers of guarantees:
+
+* structural — interning, CSR adjacency, cached topological order and
+  mutation invalidation of :class:`CompactTimedGraph` /
+  :meth:`TimedDFG.compact`;
+* behavioural — the array kernels are **exactly** equal (``==`` on every
+  float) to the dict-based ``*_reference`` implementations.  The seeded
+  sweep below drives :func:`kernel_vs_reference_problems` — the same
+  predicate the ``graphkit-kernels`` verify oracle fuzzes on generated
+  diamond-CFG scenarios — over 200 ``random_layered_design_seeded`` designs
+  with mixed widths and wait-state counts, so any failure here shrinks to a
+  tiny reproducer through the fuzzing machinery too.
+"""
+
+import pytest
+
+from repro.errors import TimingError
+from repro.core.graphkit import (
+    CompactTimedGraph,
+    arrival_kernel,
+    kernel_vs_reference_problems,
+    required_kernel,
+)
+from repro.core.sequential_slack import (
+    compute_sequential_slack,
+    compute_sequential_slack_reference,
+)
+from repro.core.timed_dfg import TimedDFG, build_timed_dfg
+from repro.ir.operations import OpKind
+from repro.lib.tsmc90 import tsmc90_library
+from repro.rtl.timing import analyze_state_timing, analyze_state_timing_reference
+from repro.flows import conventional_flow
+from repro.workloads import random_layered_design_seeded, segmented_design
+
+
+@pytest.fixture(scope="module")
+def library():
+    return tsmc90_library()
+
+
+def _delays_for(design, library):
+    return {op.name: library.operation_delay(op)
+            for op in design.dfg.operations if op.kind is not OpKind.CONST}
+
+
+# -- structural ---------------------------------------------------------------------
+
+
+def _diamond_timed():
+    timed = TimedDFG("t")
+    for node in ("a", "b", "c", "d"):
+        timed.add_node(node)
+    timed.add_edge("a", "b", 0)
+    timed.add_edge("a", "c", 1)
+    timed.add_edge("b", "d", 0)
+    timed.add_edge("c", "d", 2)
+    return timed
+
+
+def test_interning_and_csr_layout():
+    graph = CompactTimedGraph.from_timed(_diamond_timed())
+    assert graph.names == ("a", "b", "c", "d")
+    assert graph.index == {"a": 0, "b": 1, "c": 2, "d": 3}
+    assert graph.num_nodes == 4 and graph.num_edges == 4
+    # CSR successors of a: slots [0, 2) hold (b, 0) and (c, 1).
+    assert list(graph.succ_indptr) == [0, 2, 3, 4, 4]
+    assert list(graph.succ_dst[0:2]) == [1, 2]
+    assert list(graph.succ_weight[0:2]) == [0, 1]
+    # CSR predecessors of d: slots hold (b, 0) and (c, 2).
+    lo, hi = graph.pred_indptr[3], graph.pred_indptr[4]
+    assert sorted(zip(graph.pred_src[lo:hi], graph.pred_weight[lo:hi])) \
+        == [(1, 0), (2, 2)]
+    assert list(graph.topo) == [0, 1, 2, 3]
+
+
+def test_compact_topological_order_matches_timed_dfg():
+    timed = _diamond_timed()
+    graph = timed.compact()
+    assert [graph.names[i] for i in graph.topo] == timed.topological_order()
+
+
+def test_compact_is_cached_and_invalidated_on_mutation():
+    timed = _diamond_timed()
+    first = timed.compact()
+    assert timed.compact() is first
+    timed.add_node("e")
+    second = timed.compact()
+    assert second is not first
+    assert second.num_nodes == 5
+    timed.add_edge("d", "e", 0)
+    assert timed.compact() is not second
+
+
+def test_cyclic_graph_raises_on_topo():
+    timed = TimedDFG("cyclic")
+    timed.add_node("a")
+    timed.add_node("b")
+    timed.add_edge("a", "b", 0)
+    timed.add_edge("b", "a", 0)
+    with pytest.raises(TimingError, match="cyclic"):
+        timed.topological_order()
+    with pytest.raises(TimingError, match="cyclic"):
+        arrival_kernel(timed.compact(), [0.0, 0.0], 1000.0)
+
+
+def test_duplicate_names_and_bad_edges_rejected():
+    with pytest.raises(TimingError, match="unique"):
+        CompactTimedGraph(("a", "a"), [])
+    with pytest.raises(TimingError, match="unknown node"):
+        CompactTimedGraph(("a",), [(0, 1, 0)])
+    with pytest.raises(TimingError, match=">= 0"):
+        CompactTimedGraph(("a", "b"), [(0, 1, -1)])
+
+
+def test_kernels_on_hand_built_graph(library):
+    timed = _diamond_timed()
+    graph = timed.compact()
+    delays = {"a": 300.0, "b": 500.0, "c": 200.0, "d": 100.0}
+    vec = graph.delay_vector(delays)
+    assert vec == [300.0, 500.0, 200.0, 100.0]
+    clock = 1000.0
+    arrival = arrival_kernel(graph, vec, clock)
+    # a=0; b=a+300; c=a+300-1000*1; d=max(b+500, c+200-2000).
+    assert arrival == [0.0, 300.0, -700.0, 800.0]
+    required = required_kernel(graph, vec, clock)
+    # d has no successors: T - delay(d).
+    assert required[3] == clock - 100.0
+
+
+# -- behavioural: 200 seeded designs, exact equality --------------------------------
+
+
+_SEEDED_CASES = [
+    (seed,
+     2 + seed % 4,                       # layers
+     3 + (seed * 7) % 5,                 # ops per layer
+     2 + (seed * 3) % 6,                 # latency => wait states
+     ((8, 16, 24, 32) if seed % 3 == 0 else
+      (16, 32) if seed % 3 == 1 else None),   # mixed width profiles
+     900.0 + 150.0 * (seed % 8))         # clock period
+    for seed in range(200)
+]
+
+
+@pytest.mark.parametrize("chunk", range(8))
+def test_kernels_exactly_match_reference_on_200_seeded_designs(
+        chunk, library):
+    """The acceptance sweep: kernels vs references, exact float equality,
+    via the same predicate the graphkit-kernels verify oracle runs."""
+    for seed, layers, ops, latency, widths, clock in \
+            _SEEDED_CASES[chunk::8]:
+        design, resolved = random_layered_design_seeded(
+            seed=seed, layers=layers, ops_per_layer=ops, latency=latency,
+            clock_period=clock, width_choices=widths)
+        assert resolved == seed
+        timed = build_timed_dfg(design)
+        problems = kernel_vs_reference_problems(
+            timed, _delays_for(design, library), clock)
+        assert not problems, (seed, problems[:3])
+
+
+def test_kernel_matches_reference_with_partial_delay_map(library):
+    """Missing delay entries default to 0.0 on both paths."""
+    design, _ = random_layered_design_seeded(seed=5, layers=3,
+                                             ops_per_layer=5, latency=4)
+    timed = build_timed_dfg(design)
+    delays = _delays_for(design, library)
+    pruned = {name: value for index, (name, value)
+              in enumerate(sorted(delays.items())) if index % 2 == 0}
+    assert not kernel_vs_reference_problems(timed, pruned, 1500.0)
+    fast = compute_sequential_slack(timed, pruned, 1500.0, aligned=True)
+    slow = compute_sequential_slack_reference(timed, pruned, 1500.0,
+                                              aligned=True)
+    assert list(fast.slack) == list(slow.slack)  # key order preserved too
+
+
+def test_state_timing_kernel_matches_reference_on_segmented_design(library):
+    design = segmented_design(
+        segments=[
+            ("linear", (("add", 0, 1), ("mul", 1, 2))),
+            ("diamond", (("sub", 0, 1),), (("add", 1, 2),),
+             (("mul", 0, 3),), (("add", 2, 4),)),
+            ("linear", (("xor", 1, 5),)),
+        ],
+        inputs=(16, 16, 8),
+        outputs=2,
+        tail_states=1,
+        clock_period=2000.0,
+    )
+    flow = conventional_flow(design, library, clock_period=2000.0)
+    kernel = analyze_state_timing(flow.datapath)
+    reference = analyze_state_timing_reference(flow.datapath)
+    assert kernel.op_start == reference.op_start
+    assert kernel.op_finish == reference.op_finish
+    assert kernel.op_slack == reference.op_slack
+    assert kernel.state_critical_path == reference.state_critical_path

@@ -1,0 +1,120 @@
+"""The power model (repro.rtl.power) on the paper kernels.
+
+Covers the model's defining relationships — total decomposition, activity
+scaling of the dynamic component only, leakage tracking area, the
+pipelined-iteration rule (energy per initiation interval, not per latency)
+— on the paper kernels and on a generated ``segmented_design`` scenario.
+"""
+
+import pytest
+
+from repro.flows import conventional_flow
+from repro.lib.tsmc90 import tsmc90_library
+from repro.rtl.area import area_report
+from repro.rtl.power import power_report
+from repro.workloads import (
+    fft_stage_design,
+    fir_design,
+    idct_design,
+    interpolation_design,
+    segmented_design,
+)
+
+CLOCK = 1500.0
+
+
+@pytest.fixture(scope="module")
+def library():
+    return tsmc90_library()
+
+
+def _datapath(design, library, clock=CLOCK, **kwargs):
+    return conventional_flow(design, library, clock_period=clock,
+                             **kwargs).datapath
+
+
+@pytest.mark.parametrize("case", ["interpolation", "fir", "fft", "idct"])
+def test_power_components_on_paper_kernels(case, library):
+    design = {
+        "interpolation": lambda: interpolation_design(unroll=2),
+        "fir": lambda: fir_design(taps=6, latency=5, clock_period=CLOCK),
+        "fft": lambda: fft_stage_design(points=4, latency=5,
+                                        clock_period=CLOCK),
+        "idct": lambda: idct_design(latency=12, rows=1, clock_period=CLOCK),
+    }[case]()
+    clock = design.clock_period or CLOCK
+    datapath = _datapath(design, library, clock=clock)
+    report = power_report(datapath)
+    assert report.dynamic > 0 and report.leakage > 0
+    assert report.total == pytest.approx(report.dynamic + report.leakage)
+    assert report.iteration_time == pytest.approx(
+        datapath.num_states * clock)
+    assert report.throughput == pytest.approx(1000.0 / report.iteration_time)
+    assert "total=" in report.describe()
+
+
+def test_power_on_segmented_design_scenario(library):
+    design = segmented_design(
+        segments=[
+            ("linear", (("add", 0, 1), ("mul", 1, 2))),
+            ("diamond", (("sub", 0, 1),), (("add", 1, 2),),
+             (("mul", 0, 3),), (("add", 2, 4),)),
+        ],
+        inputs=(16, 16),
+        outputs=1,
+        tail_states=2,
+        clock_period=2000.0,
+    )
+    report = power_report(_datapath(design, library, clock=2000.0))
+    assert report.dynamic > 0 and report.leakage > 0
+    assert report.total == pytest.approx(report.dynamic + report.leakage)
+
+
+def test_activity_scales_dynamic_power_only(library):
+    datapath = _datapath(fir_design(taps=4, latency=4, clock_period=CLOCK),
+                         library)
+    full = power_report(datapath, activity=1.0)
+    quarter = power_report(datapath, activity=0.25)
+    assert quarter.dynamic == pytest.approx(full.dynamic * 0.25)
+    assert quarter.leakage == pytest.approx(full.leakage)
+    assert quarter.iteration_time == full.iteration_time
+
+
+def test_leakage_tracks_area(library):
+    small = _datapath(idct_design(latency=12, rows=1, clock_period=CLOCK),
+                      library)
+    large = _datapath(idct_design(latency=12, rows=2, clock_period=CLOCK),
+                      library)
+    assert area_report(large).total > area_report(small).total
+    assert power_report(large).leakage > power_report(small).leakage
+    # Leakage is proportional to instantiated area with one shared factor.
+    small_power, large_power = power_report(small), power_report(large)
+    assert small_power.leakage / area_report(small).total == pytest.approx(
+        large_power.leakage / area_report(large).total)
+
+
+def test_pipelining_spends_energy_per_initiation_interval(library):
+    latency = 16
+    plain = idct_design(latency=latency, rows=1, clock_period=CLOCK)
+    pipelined = idct_design(latency=latency, rows=1, clock_period=CLOCK,
+                            pipeline_ii=4)
+    plain_report = power_report(_datapath(plain, library))
+    pipe_dp = _datapath(pipelined, library, pipeline_ii=4)
+    pipe_report = power_report(pipe_dp)
+    # A new iteration starts every II states: iteration time shrinks and
+    # throughput rises accordingly.
+    assert pipe_report.iteration_time == pytest.approx(4 * CLOCK)
+    assert pipe_report.iteration_time < plain_report.iteration_time
+    assert pipe_report.throughput > plain_report.throughput
+    # Same energy spent over a shorter interval: dynamic power goes up.
+    assert pipe_report.dynamic > plain_report.dynamic
+
+
+def test_iteration_interval_never_exceeds_latency(library):
+    # An II larger than the actual state count collapses to the state count.
+    design = fir_design(taps=3, latency=3, clock_period=CLOCK)
+    design.pipeline_ii = 99
+    datapath = _datapath(design, library)
+    report = power_report(datapath)
+    assert report.iteration_time == pytest.approx(
+        datapath.num_states * CLOCK)

@@ -122,6 +122,28 @@ def test_replay_reports_still_failing_entries(tmp_path, capsys,
     assert "still failing" in capsys.readouterr().out
 
 
+def test_replay_unknown_oracle_reports_clear_error(tmp_path, capsys):
+    """A corpus entry whose oracle has been renamed/removed must fail the
+    replay with a readable 'unknown oracle' outcome — not crash, and not be
+    skipped as a silent pass."""
+    corpus_path = str(tmp_path / "stale.jsonl")
+    corpus = Corpus(corpus_path)
+    corpus.add(generate_scenario(1), "retired-oracle", "was failing once")
+    corpus.add(generate_scenario(2), "pareto-front", "fine either way")
+
+    assert main(["replay", "--corpus", corpus_path]) == 1
+    out = capsys.readouterr().out
+    # Both records are accounted for: the live oracle replays, the stale one
+    # fails loudly with the reason and the available registry.
+    assert "replayed 2 record(s)" in out
+    assert "unknown oracle" in out and "retired-oracle" in out
+    assert "Traceback" not in out
+
+    # An explicit filter that excludes the stale record still works.
+    assert main(["replay", "--corpus", corpus_path,
+                 "--oracles", "pareto-front"]) == 0
+
+
 def test_replay_treats_fixed_entries_as_success(tmp_path, capsys):
     corpus_path = str(tmp_path / "fixed.jsonl")
     corpus = Corpus(corpus_path)

@@ -14,7 +14,8 @@ from repro.verify.oracles import (
 from repro.verify.scenarios import generate_scenario
 
 EXPECTED_ORACLES = ("area-recovery", "sequential-slack", "executor-modes",
-                    "pipeline-cache", "pareto-front")
+                    "pipeline-cache", "graphkit-kernels",
+                    "graphkit-state-timing", "pareto-front")
 
 
 def test_registry_contains_the_documented_oracles_in_order():
