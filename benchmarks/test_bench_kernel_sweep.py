@@ -75,3 +75,55 @@ def test_kernel_sweep_area_savings(benchmark, library):
     # on the shallow kernels.)
     assert average > -2.0
     assert max(savings) > 3.0
+
+
+def test_batched_session_matches_and_beats_per_point(benchmark, library):
+    """Batched ``SweepSession`` vs independent per-point evaluation.
+
+    The session must be bit-for-bit identical to evaluating every point on
+    its own (the ``sweep-session`` oracle's equivalence, here on the kernel
+    suite) while reusing interned designs and shared bundles across clock
+    knobs.  Both wall times are recorded; the batched path is the one the
+    perf gate tracks.
+    """
+    import json
+    import time
+
+    from repro.core.analysis_cache import AnalysisCache
+    from repro.flows import DesignPoint, SweepSession, evaluate_point
+    from repro.workloads.factories import KernelPointFactory
+
+    factory = KernelPointFactory("fir", params=(("taps", 8),))
+    points = [
+        DesignPoint(name=f"fir8_L{latency}_c{int(clock)}", latency=latency,
+                    clock_period=clock)
+        for latency in (6, 8, 10)
+        for clock in (CLOCK, 1.25 * CLOCK)
+    ]
+
+    def batched():
+        session = SweepSession(factory, library, cache=AnalysisCache())
+        return session.run(points), session
+
+    result, session = benchmark.pedantic(batched, rounds=1, iterations=1)
+
+    per_point_start = time.perf_counter()
+    baseline = [evaluate_point(factory, library, point, use_cache=False)
+                for point in points]
+    per_point_seconds = time.perf_counter() - per_point_start
+
+    assert [json.dumps(entry.metrics(), sort_keys=True)
+            for entry in result.entries] \
+        == [json.dumps(entry.metrics(), sort_keys=True) for entry in baseline]
+    # Three structures serve six points: the rest ride the delta path.
+    assert session.stats.full_evaluations == 3
+    assert session.stats.delta_points == 3
+    benchmark.extra_info["batched_wall_s"] = round(
+        result.wall_time_seconds, 3)
+    benchmark.extra_info["per_point_wall_s"] = round(per_point_seconds, 3)
+    print()
+    print(format_table(
+        ["harness", "wall time (s)"],
+        [["batched SweepSession", f"{result.wall_time_seconds:.2f}"],
+         ["per-point evaluate_point", f"{per_point_seconds:.2f}"]],
+        title="Kernel sweep: batched session vs per-point evaluation"))

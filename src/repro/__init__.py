@@ -50,6 +50,36 @@ from repro.errors import (
     InfeasibleDesignError,
 )
 
+#: The curated top-level API: evaluation sessions, sweep harnesses, the
+#: exploration layer and the differential-oracle registry.  Resolved lazily
+#: (PEP 562) so ``import repro`` stays light and the subsystem import graphs
+#: stay acyclic; ``repro.<name>`` triggers the real import on first access.
+_PUBLIC_API = {
+    # flows: the evaluation/session layer
+    "SweepSession": "repro.flows.sweep",
+    "SweepStats": "repro.flows.sweep",
+    "sweep_plan": "repro.flows.sweep",
+    "DesignPoint": "repro.flows.dse",
+    "DSEEntry": "repro.flows.dse",
+    "DSEResult": "repro.flows.dse",
+    "evaluate_point": "repro.flows.dse",
+    "run_dse": "repro.flows.dse",
+    "idct_design_points": "repro.flows.dse",
+    "latency_grid": "repro.flows.dse",
+    "DSEEngine": "repro.flows.engine",
+    "PointArtifacts": "repro.flows.pipeline",
+    "conventional_flow": "repro.flows.conventional",
+    "slack_based_flow": "repro.flows.slack_based",
+    # exploration layer
+    "AdaptiveExplorer": "repro.explore.adaptive",
+    "RefinementPolicy": "repro.explore.adaptive",
+    "ResultStore": "repro.explore.store",
+    # verification layer (the oracle registry drives fuzzing and the CLI)
+    "ORACLES": "repro.verify.oracles",
+    "Oracle": "repro.verify.oracles",
+    "oracle": "repro.verify.oracles",
+}
+
 __all__ = [
     "__version__",
     "ReproError",
@@ -60,4 +90,19 @@ __all__ = [
     "SchedulingError",
     "BindingError",
     "InfeasibleDesignError",
-]
+] + sorted(_PUBLIC_API)
+
+
+def __getattr__(name: str):
+    module_name = _PUBLIC_API.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: subsequent accesses skip __getattr__
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_PUBLIC_API))

@@ -1,0 +1,132 @@
+"""The unified ``repro`` command-line interface.
+
+One console script with a subcommand per subsystem::
+
+    repro explore ...   # adaptive Pareto exploration (repro.explore.cli)
+    repro verify ...    # differential scenario fuzzing (repro.verify.cli)
+    repro sweep ...     # batched Table-4-style sweep via SweepSession
+
+``repro explore`` and ``repro verify`` forward their remaining arguments to
+the existing subsystem CLIs unchanged, so everything those tools accept
+works here too; the ``repro-explore`` and ``repro-verify`` console scripts
+remain as aliases.  ``repro sweep`` is the session API's own entry point:
+it runs the paper's 15-point IDCT sweep (or a custom latency grid) through
+one :class:`repro.flows.sweep.SweepSession` and prints the Table-4 area
+comparison plus the session's reuse statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+_USAGE = """\
+usage: repro <command> [options]
+
+commands:
+  explore   adaptive Pareto-front exploration (see: repro explore --help)
+  verify    differential scenario fuzzing     (see: repro verify --help)
+  sweep     batched DSE sweep via SweepSession (see: repro sweep --help)
+"""
+
+
+def _build_sweep_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro sweep",
+        description="Run a batched design-space sweep through one "
+                    "SweepSession and print the Table-4 area comparison.",
+    )
+    parser.add_argument("--rows", type=int, default=2,
+                        help="IDCT rows per design (8 = the paper's full "
+                             "8x8 row pass; default 2)")
+    parser.add_argument("--clock", type=float, default=1500.0,
+                        help="clock period in ps (default 1500)")
+    parser.add_argument("--margin", type=float, default=0.05,
+                        help="slack-budgeting margin fraction (default 0.05)")
+    parser.add_argument("--latencies", default=None, metavar="LO:HI",
+                        help="sweep a dense latency grid instead of the "
+                             "paper's 15 Table-4 points")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write the per-point metrics list as JSON")
+    parser.add_argument("--stats", action="store_true",
+                        help="print the session's reuse statistics")
+    return parser
+
+
+def _sweep_main(argv: Sequence[str]) -> int:
+    from repro.errors import ReproError
+    from repro.flows import (
+        SweepSession,
+        format_table,
+        idct_design_points,
+        latency_grid,
+        table4_rows,
+    )
+    from repro.lib.tsmc90 import tsmc90_library
+    from repro.workloads.factories import IDCTPointFactory
+
+    args = _build_sweep_parser().parse_args(argv)
+    try:
+        if args.latencies:
+            low, _, high = args.latencies.partition(":")
+            try:
+                points = latency_grid(int(low), int(high or low),
+                                      clock_period=args.clock)
+            except ValueError:
+                print(f"repro sweep: --latencies expects LO:HI, got "
+                      f"{args.latencies!r}", file=sys.stderr)
+                return 2
+        else:
+            points = idct_design_points(clock_period=args.clock)
+        session = SweepSession(IDCTPointFactory(rows=args.rows),
+                               tsmc90_library(),
+                               margin_fraction=args.margin)
+        result = session.run(points)
+    except ReproError as exc:
+        print(f"repro sweep: {exc}", file=sys.stderr)
+        return 1
+
+    header, rows = table4_rows(result)
+    print(format_table(
+        header, rows,
+        title=f"Sweep: {len(result.entries)} point(s), IDCT rows={args.rows}, "
+              f"T={args.clock:.0f} ps — {result.wall_time_seconds:.2f} s"))
+    print(f"average saving: {result.average_saving_percent():.1f} %")
+    if args.stats:
+        stats = session.stats.as_dict()
+        print(format_table(
+            ["session statistic", "value"],
+            [[key, str(value)] for key, value in stats.items()],
+            title="SweepSession reuse"))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(result.metrics_list(), handle, indent=1, sort_keys=True)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(_USAGE, end="")
+        return 0 if argv else 2
+    command, rest = argv[0], argv[1:]
+    if command == "explore":
+        from repro.explore.cli import main as explore_main
+
+        return explore_main(rest)
+    if command == "verify":
+        from repro.verify.cli import main as verify_main
+
+        return verify_main(rest)
+    if command == "sweep":
+        return _sweep_main(rest)
+    print(f"repro: unknown command {command!r}\n\n{_USAGE}",
+          end="", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -156,16 +156,20 @@ class AnalysisCache:
 
     Parameters bound the LRU tables (entries, not bytes).  The defaults are
     sized for long engine sweeps: spans dominate per-entry memory, and one
-    relaxation-heavy design point replays a few hundred distinct pinned-span
-    keys, so 512 entries keep a sweep's working set resident without letting
-    an unbounded sweep grow the process.
+    relaxation-heavy design point replays up to a few thousand distinct
+    pinned-span keys across its relaxation attempts, so 4096 entries keep a
+    whole sweep's working set resident (the Table-4 sweep was eviction-bound
+    at smaller sizes) without letting an unbounded sweep grow the process.
     """
 
-    def __init__(self, max_artifacts: int = 64, max_spans: int = 512,
+    def __init__(self, max_artifacts: int = 64, max_spans: int = 4096,
                  max_slack: int = 4096):
         self._artifacts = _LRUTable("artifacts", max_artifacts)
         self._spans = _LRUTable("spans", max_spans)
         self._slack = _LRUTable("sequential_slack", max_slack)
+        self._delta_lock = threading.Lock()
+        self.delta_evaluators = 0
+        self.delta_updates = 0
 
     # -- point artifacts -----------------------------------------------------------
 
@@ -237,6 +241,17 @@ class AnalysisCache:
             key,
             lambda: compute_sequential_slack(timed, delays, clock_period,
                                              aligned=aligned))
+
+    # -- delta-slack stats ---------------------------------------------------------
+
+    def record_delta(self, updates: int) -> None:
+        """Record one :class:`~repro.core.delta_slack.DeltaSlackEvaluator`
+        run and how many incremental updates it absorbed (each of which
+        replaced a full slack recomputation).  Feeds the sweep-session stats.
+        """
+        with self._delta_lock:
+            self.delta_evaluators += 1
+            self.delta_updates += updates
 
     # -- management ----------------------------------------------------------------
 

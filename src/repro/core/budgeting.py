@@ -24,6 +24,8 @@ resource selection) and by the stand-alone feasibility check of Prop. 1.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Set, Tuple
 
@@ -32,12 +34,14 @@ from repro.ir.design import Design
 from repro.ir.operations import Operation, OpKind
 from repro.lib.library import Library
 from repro.lib.resource import ResourceVariant
+from repro.core.delta_slack import DeltaSlackEvaluator
 from repro.core.latency import LatencyAnalysis
 from repro.core.opspan import OperationSpans
 from repro.core.sequential_slack import TimingResult
 from repro.core.timed_dfg import TimedDFG, build_timed_dfg
 
 _EPS = 1e-6
+_MISSING = object()
 
 
 @dataclass
@@ -79,51 +83,161 @@ class BudgetingResult:
         return histogram
 
 
+class _BudgetTemplate:
+    """Immutable per-(design, library) skeleton of a budgeting state.
+
+    Building a :class:`_BudgetState` used to resolve the resource class, the
+    synthesizability and the default grade of every operation on *every*
+    ``budget_slack`` call — and the slack-guided scheduler re-budgets after
+    every scheduled edge, thousands of times per design point.  All of that
+    is a pure function of (design, library), so it is interned once here and
+    per-call states start from dict copies of the precomputed base maps.
+    """
+
+    __slots__ = ("ops", "classes", "nonsynth", "static_delays",
+                 "fastest_delays", "base_variants", "base_delays",
+                 "max_grades", "slower_of", "faster_of")
+
+    def __init__(self, design: Design, library: Library):
+        self.ops: Dict[str, Operation] = {}
+        self.classes: Dict[str, Optional[object]] = {}
+        self.nonsynth: Set[str] = set()
+        # Delay of ops whose delay ignores the variant (const/copy/IO) —
+        # mirrors Library.operation_delay's dispatch exactly.
+        self.static_delays: Dict[str, float] = {}
+        self.fastest_delays: Dict[str, float] = {}
+        base_slowest: Dict[str, Optional[ResourceVariant]] = {}
+        base_fastest: Dict[str, Optional[ResourceVariant]] = {}
+        delays_slowest: Dict[str, float] = {}
+        delays_fastest: Dict[str, float] = {}
+        # Per-op grade-adjacency maps (variant name -> next slower/faster
+        # variant, None at the ends), shared per resource class.  One dict
+        # lookup replaces ResourceClass.next_slower/next_faster on the step-4
+        # candidate scan, the hottest part of the budgeting loop.
+        self.slower_of: Dict[str, Dict[str, Optional[ResourceVariant]]] = {}
+        self.faster_of: Dict[str, Dict[str, Optional[ResourceVariant]]] = {}
+        adjacency: Dict[int, tuple] = {}
+        max_grades = 1
+        for op in design.dfg.operations:
+            if op.kind is OpKind.CONST:
+                continue
+            name = op.name
+            self.ops[name] = op
+            if not op.is_synthesizable:
+                self.classes[name] = None
+                self.nonsynth.add(name)
+                delay = library.operation_delay(op)
+                self.static_delays[name] = delay
+                base_slowest[name] = base_fastest[name] = None
+                delays_slowest[name] = delays_fastest[name] = delay
+                continue
+            resource_class = library.class_for_op(op)
+            self.classes[name] = resource_class
+            if resource_class.num_grades > max_grades:
+                max_grades = resource_class.num_grades
+            maps = adjacency.get(id(resource_class))
+            if maps is None:
+                grades = resource_class.variants
+                slower_map = {}
+                faster_map = {}
+                for position, grade in enumerate(grades):
+                    slower_map[grade.name] = (grades[position + 1]
+                                              if position + 1 < len(grades)
+                                              else None)
+                    faster_map[grade.name] = (grades[position - 1]
+                                              if position > 0 else None)
+                maps = (slower_map, faster_map)
+                adjacency[id(resource_class)] = maps
+            self.slower_of[name], self.faster_of[name] = maps
+            slowest = resource_class.slowest
+            fastest = resource_class.fastest
+            self.fastest_delays[name] = fastest.delay
+            base_slowest[name] = slowest
+            base_fastest[name] = fastest
+            delays_slowest[name] = slowest.delay
+            delays_fastest[name] = fastest.delay
+        self.base_variants = {"slowest": base_slowest, "fastest": base_fastest}
+        self.base_delays = {"slowest": delays_slowest, "fastest": delays_fastest}
+        self.max_grades = max_grades
+
+    def pinned_delay(self, name: str,
+                     variant: Optional[ResourceVariant]) -> float:
+        """``Library.operation_delay(op, variant)`` from precomputed parts."""
+        static = self.static_delays.get(name)
+        if static is not None:
+            return static
+        if variant is None:
+            return self.fastest_delays[name]
+        return variant.delay
+
+
+_TEMPLATE_LOCK = threading.Lock()
+_TEMPLATES: "OrderedDict" = OrderedDict()
+_MAX_TEMPLATES = 128
+
+
+def _budget_template(design: Design, library: Library) -> _BudgetTemplate:
+    """The interned :class:`_BudgetTemplate` of ``(design, library)``.
+
+    Keyed by object identity tokens: the flows treat designs and libraries
+    as structurally immutable after first analysis (the same contract the
+    analysis cache and ``TimedDFG.compact`` already rely on).
+    """
+    from repro.core.analysis_cache import _object_token
+
+    key = (_object_token(design), _object_token(library))
+    with _TEMPLATE_LOCK:
+        template = _TEMPLATES.get(key)
+        if template is not None:
+            _TEMPLATES.move_to_end(key)
+            return template
+    template = _BudgetTemplate(design, library)
+    with _TEMPLATE_LOCK:
+        _TEMPLATES[key] = template
+        _TEMPLATES.move_to_end(key)
+        while len(_TEMPLATES) > _MAX_TEMPLATES:
+            _TEMPLATES.popitem(last=False)
+    return template
+
+
 class _BudgetState:
     """Mutable per-operation state during budgeting."""
+
+    __slots__ = ("template", "delays", "variants", "pinned", "frozen",
+                 "ops", "classes")
 
     def __init__(self, design: Design, library: Library,
                  initial_variants: Optional[Mapping[str, ResourceVariant]],
                  pinned: Optional[Mapping[str, ResourceVariant]],
                  start_from: str):
-        self.library = library
-        self.delays: Dict[str, float] = {}
-        self.variants: Dict[str, Optional[ResourceVariant]] = {}
-        self.pinned: Set[str] = set()
+        template = _budget_template(design, library)
+        self.template = template
+        self.ops = template.ops
+        self.classes = template.classes
         self.frozen: Set[str] = set()
-        self.ops: Dict[str, Operation] = {}
-        # op name -> resource class (None for non-synthesizable operations).
-        # Resolved once here: the budgeting loops ask for the class of every
-        # candidate on every iteration, and the per-call library lookup used
-        # to dominate the whole pass's profile.
-        self.classes: Dict[str, Optional[object]] = {}
-
-        for op in design.dfg.operations:
-            if op.kind is OpKind.CONST:
-                continue
-            self.ops[op.name] = op
-            synthesizable = op.is_synthesizable
-            self.classes[op.name] = (library.class_for_op(op)
-                                     if synthesizable else None)
-            if pinned and op.name in pinned:
-                variant = pinned[op.name]
-                self.variants[op.name] = variant
-                self.delays[op.name] = library.operation_delay(op, variant)
-                self.pinned.add(op.name)
-                continue
-            if not synthesizable:
-                self.variants[op.name] = None
-                self.delays[op.name] = library.operation_delay(op)
-                self.pinned.add(op.name)
-                continue
-            if initial_variants and op.name in initial_variants:
-                variant = initial_variants[op.name]
-            elif start_from == "slowest":
-                variant = library.slowest_variant(op)
-            else:
-                variant = library.fastest_variant(op)
-            self.variants[op.name] = variant
-            self.delays[op.name] = variant.delay
+        # Start from the interned base grade maps, then overlay the warm
+        # start and the pinned grades — same per-op precedence as resolving
+        # each operation individually (pinned wins, non-synthesizable ops
+        # are always pinned, warm starts apply to synthesizable ops only).
+        base = "slowest" if start_from == "slowest" else "fastest"
+        self.variants: Dict[str, Optional[ResourceVariant]] = dict(
+            template.base_variants[base])
+        self.delays: Dict[str, float] = dict(template.base_delays[base])
+        self.pinned: Set[str] = set(template.nonsynth)
+        if initial_variants:
+            ops = template.ops
+            nonsynth = template.nonsynth
+            for name, variant in initial_variants.items():
+                if name in ops and name not in nonsynth:
+                    self.variants[name] = variant
+                    self.delays[name] = variant.delay
+        if pinned:
+            ops = template.ops
+            for name, variant in pinned.items():
+                if name in ops:
+                    self.variants[name] = variant
+                    self.delays[name] = template.pinned_delay(name, variant)
+                    self.pinned.add(name)
 
     def movable(self, name: str) -> bool:
         return name not in self.pinned and name not in self.frozen
@@ -136,8 +250,7 @@ class _BudgetState:
         return self.classes[name]
 
     def max_grades(self) -> int:
-        return max((cls.num_grades for cls in self.classes.values()
-                    if cls is not None), default=1)
+        return self.template.max_grades
 
 
 def budget_slack(
@@ -178,10 +291,12 @@ def budget_slack(
     max_iterations:
         Safety bound; defaults to ``20 * num_ops * max_grades``.
     cache:
-        Optional :class:`repro.core.analysis_cache.AnalysisCache` used to
-        memoize the sequential-slack recomputations (default: the
-        process-wide cache).  Delay maps recur across re-budgeting passes,
-        and the shared cache turns those repeats into lookups.
+        Optional :class:`repro.core.analysis_cache.AnalysisCache` (default:
+        the process-wide cache).  The slack recomputations themselves now
+        run on an in-call :class:`repro.core.delta_slack.DeltaSlackEvaluator`
+        — one full kernel pass, then single-delay incremental updates — so
+        the cache only collects the delta-evaluation counters that the
+        sweep-session stats report.
     """
     if clock_period <= 0:
         raise TimingError("clock period must be positive")
@@ -202,31 +317,42 @@ def budget_slack(
     upgrades = 0
     downgrades = 0
 
-    def recompute() -> TimingResult:
-        return cache.sequential_slack(timed, state.delays, clock_period,
-                                      aligned=aligned)
+    graph = timed.compact()
+    evaluator = DeltaSlackEvaluator(graph, graph.delay_vector(state.delays),
+                                    clock_period, aligned=aligned)
 
-    timing = recompute()
+    # Hot-loop locals.  The evaluator mutates its arrival/required lists in
+    # place (never rebinds them), so the references stay valid across
+    # set_delay/rollback; ``pinned``/``frozen`` are the state's own sets.
+    variants = state.variants
+    pinned_set = state.pinned
+    frozen = state.frozen
+    slower_of = state.template.slower_of
+    faster_of = state.template.faster_of
+    arrival = evaluator.arrival
+    required = evaluator.required
+    node_index = graph.index
 
     # ---- step 3 of Fig. 7: repair negative aligned slack by speeding up ---------
-    while timing.worst_slack() < -_EPS and iterations < iteration_budget:
-        worst = timing.worst_slack()
+    while evaluator.worst_slack() < -_EPS and iterations < iteration_budget:
         # Candidates: every operation still violating timing (binned to the
         # worst value first, then any violator — alignment effects can give
         # the true culprit a slightly less negative slack than the worst op,
         # e.g. when the worst op is an un-upgradable I/O operation).
-        critical = [name for name in timing.critical_operations(margin)
-                    if state.movable(name)]
-        violators = [name for name, value in timing.slack.items()
-                     if value < -_EPS and state.movable(name)]
+        critical = [name for name in evaluator.critical_operations(margin)
+                    if name not in pinned_set and name not in frozen]
+        violators = [name for name in evaluator.violating_operations(-_EPS)
+                     if name not in pinned_set and name not in frozen]
 
         def cheapest_upgrade(names):
             best: Optional[Tuple[float, str, ResourceVariant]] = None
             for name in names:
-                variant = state.variants[name]
+                variant = variants[name]
                 if variant is None:
                     continue
-                faster = state.resource_class(name).next_faster(variant)
+                faster = faster_of[name].get(variant.name, _MISSING)
+                if faster is _MISSING:
+                    faster = state.resource_class(name).next_faster(variant)
                 if faster is None:
                     continue
                 gain = variant.delay - faster.delay
@@ -242,22 +368,25 @@ def budget_slack(
             break  # nothing left to speed up: infeasible at this clock period
         _, name, faster = best_choice
         state.set_variant(name, faster)
+        evaluator.set_delay(node_index[name], faster.delay)
         upgrades += 1
         iterations += 1
-        timing = recompute()
 
     # ---- step 4 of Fig. 7: distribute positive slack by slowing down ------------
-    feasible_baseline = timing.worst_slack() >= -_EPS
+    feasible_baseline = evaluator.worst_slack() >= -_EPS
+    margin_eps = margin + _EPS
     while iterations < iteration_budget:
         candidates: List[Tuple[float, float, str, ResourceVariant]] = []
-        slack_map = timing.slack
-        for name, variant in state.variants.items():
-            if variant is None or not state.movable(name):
+        for name, variant in variants.items():
+            if variant is None or name in pinned_set or name in frozen:
                 continue
-            slack = slack_map[name]
-            if slack <= margin + _EPS:
+            index = node_index[name]
+            slack = required[index] - arrival[index]
+            if slack <= margin_eps:
                 continue
-            slower = state.resource_class(name).next_slower(variant)
+            slower = slower_of[name].get(variant.name, _MISSING)
+            if slower is _MISSING:
+                slower = state.resource_class(name).next_slower(variant)
             if slower is None:
                 continue
             delay_increase = slower.delay - variant.delay
@@ -271,22 +400,29 @@ def budget_slack(
             break
         candidates.sort(key=lambda item: (-item[0], -item[1], item[2]))
         accepted = False
+        accepted_worst = evaluator.worst_slack()
         for saving, slack, name, slower in candidates:
-            previous = state.variants[name]
+            previous = variants[name]
             state.set_variant(name, slower)
             iterations += 1
-            trial = recompute()
-            worst_ok = (trial.worst_slack() >= -_EPS) if feasible_baseline else (
-                trial.worst_slack() >= timing.worst_slack() - _EPS)
+            evaluator.begin_trial()
+            evaluator.set_delay(node_index[name], slower.delay)
+            trial_worst = evaluator.worst_slack()
+            worst_ok = (trial_worst >= -_EPS) if feasible_baseline else (
+                trial_worst >= accepted_worst - _EPS)
             if worst_ok:
-                timing = trial
+                evaluator.commit()
                 downgrades += 1
                 accepted = True
                 break
+            evaluator.rollback()
             state.set_variant(name, previous)
-            state.frozen.add(name)
+            frozen.add(name)
         if not accepted:
             break
+
+    timing = evaluator.export()
+    cache.record_delta(evaluator.updates)
 
     return BudgetingResult(
         clock_period=clock_period,

@@ -84,6 +84,7 @@ class CompactTimedGraph:
         "pred_indptr", "pred_src", "pred_weight",
         "op_indices",
         "_topo", "_topo_view", "_bf_edges", "_pred_view", "_succ_view",
+        "_delta_topo_pos", "_delta_seeds",
     )
 
     def __init__(
@@ -146,6 +147,10 @@ class CompactTimedGraph:
         self._bf_edges: Optional[List[Tuple[int, int, int]]] = None
         self._pred_view: Optional[Tuple[list, list, list]] = None
         self._succ_view: Optional[Tuple[list, list, list]] = None
+        # Lazily filled by DeltaSlackEvaluator (node index -> topo position,
+        # and (delays, clock, aligned) -> initial kernel vectors).
+        self._delta_topo_pos: Optional[list] = None
+        self._delta_seeds: Optional[dict] = None
 
     # -- construction --------------------------------------------------------------
 

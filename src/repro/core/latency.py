@@ -55,6 +55,7 @@ class LatencyAnalysis:
         # Memo tables for the hot pure queries (pair -> result).
         self._latency_memo: Dict[Tuple[str, str], Optional[int]] = {}
         self._compatible_memo: Dict[Tuple[str, str], bool] = {}
+        self._reach_sets: Dict[str, frozenset] = {}
         self._ordered_forward_edges: Optional[List[str]] = None
 
     # -- node-level helpers ------------------------------------------------------
@@ -107,13 +108,30 @@ class LatencyAnalysis:
         self._latency_memo[key] = result
         return result
 
+    def _reach_set(self, edge_a: str) -> frozenset:
+        """Names of all edges forward reachable from ``edge_a`` (incl. itself).
+
+        The opSpan computation asks millions of ``reachable`` questions per
+        flow run; one O(edges) sweep per source edge turns each of them into
+        a set-membership test instead of a memoized ``latency`` call.
+        """
+        cached = self._reach_sets.get(edge_a)
+        if cached is None:
+            dist = self._node_latencies_from(self.cfg.edge(edge_a).dst)
+            cached = frozenset(
+                edge.name for edge in self.cfg.edges
+                if dist.get(edge.src, _INF) != _INF
+            ) | {edge_a}
+            self._reach_sets[edge_a] = cached
+        return cached
+
     def reachable(self, edge_a: str, edge_b: str) -> bool:
         """True if ``edge_b`` is forward reachable from ``edge_a`` (non-strict)."""
-        return self.latency(edge_a, edge_b) is not None
+        return edge_b == edge_a or edge_b in self._reach_set(edge_a)
 
     def strictly_reachable(self, edge_a: str, edge_b: str) -> bool:
         """True if ``edge_b`` is reachable from ``edge_a`` and differs from it."""
-        return edge_a != edge_b and self.reachable(edge_a, edge_b)
+        return edge_a != edge_b and edge_b in self._reach_set(edge_a)
 
     # -- edge dominance -------------------------------------------------------------
 

@@ -34,6 +34,8 @@ verbatim (see ``tests/test_table3_closed_forms.py``).  Early edges —
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -62,6 +64,90 @@ class SpanInfo:
 
     def __len__(self) -> int:
         return len(self.edges)
+
+
+class _SpanTemplate:
+    """Interned pinned-independent skeleton of the span computation.
+
+    The slack-guided scheduler rebuilds ``OperationSpans(pinned=...)`` after
+    every scheduled edge, but the DFG topological order, the per-operation
+    birth/fixedness/predecessor/successor records and the control-compatible
+    candidate-edge lists only depend on the design and its latency analysis —
+    so they are resolved once here and shared by every pinned rebuild.
+    """
+
+    __slots__ = ("shape", "order", "records", "nofloor")
+
+    def __init__(self, design: Design, latency: LatencyAnalysis):
+        dfg = design.dfg
+        cfg = design.cfg
+        self.shape = (cfg.num_nodes, cfg.num_edges,
+                      dfg.num_operations, dfg.num_edges)
+        self.order: List[str] = dfg.topological_order()
+        # name -> (op, birth, early_fixed, late_fixed, pred_names, succ_infos)
+        self.records: Dict[str, tuple] = {}
+        # birth edge -> control-compatible forward edges in topological order
+        # (no not_before floor applied).
+        self.nofloor: Dict[str, List[str]] = {}
+        ordered_edges = latency._forward_edges_ordered()
+        compatible = latency.control_compatible
+        for name in self.order:
+            op = dfg.op(name)
+            birth = op.birth_edge
+            if birth is None:
+                raise TimingError(f"operation {name!r} has no birth edge")
+            if not cfg.has_edge(birth):
+                raise TimingError(
+                    f"operation {name!r} born on unknown edge {birth!r}"
+                )
+            if birth not in self.nofloor:
+                self.nofloor[birth] = [
+                    edge for edge in ordered_edges if compatible(edge, birth)
+                ]
+            preds = tuple(
+                pred_name for pred_name in dfg.predecessors(name)
+                if dfg.op(pred_name).kind is not OpKind.CONST
+            )
+            succs = tuple(
+                (succ_name, dfg.op(succ_name).is_fixed)
+                for succ_name in dfg.successors(name)
+            )
+            late_fixed = op.is_fixed or bool(op.attrs.get("branch_condition"))
+            self.records[name] = (op, birth, op.is_fixed, late_fixed,
+                                  preds, succs)
+
+
+_SPAN_TEMPLATE_LOCK = threading.Lock()
+_SPAN_TEMPLATES: "OrderedDict" = OrderedDict()
+_MAX_SPAN_TEMPLATES = 128
+
+
+def _span_template(design: Design, latency: LatencyAnalysis) -> _SpanTemplate:
+    """The interned :class:`_SpanTemplate` of ``(design, latency)``.
+
+    Keyed by object identity tokens with an O(1) shape guard (same contract
+    as :func:`repro.core.analysis_cache.design_fingerprint`): structural
+    growth or shrinkage after first use is detected and re-interned, but
+    count-preserving in-place edits are not — run IR transforms before
+    handing a design to the analyses.
+    """
+    from repro.core.analysis_cache import _object_token
+
+    key = (_object_token(design), _object_token(latency))
+    shape = (design.cfg.num_nodes, design.cfg.num_edges,
+             design.dfg.num_operations, design.dfg.num_edges)
+    with _SPAN_TEMPLATE_LOCK:
+        template = _SPAN_TEMPLATES.get(key)
+        if template is not None and template.shape == shape:
+            _SPAN_TEMPLATES.move_to_end(key)
+            return template
+    template = _SpanTemplate(design, latency)
+    with _SPAN_TEMPLATE_LOCK:
+        _SPAN_TEMPLATES[key] = template
+        _SPAN_TEMPLATES.move_to_end(key)
+        while len(_SPAN_TEMPLATES) > _MAX_SPAN_TEMPLATES:
+            _SPAN_TEMPLATES.popitem(last=False)
+    return template
 
 
 class OperationSpans:
@@ -103,6 +189,7 @@ class OperationSpans:
         )
         self._spans: Dict[str, SpanInfo] = {}
         self._candidate_memo: Dict[Tuple[str, bool], List[str]] = {}
+        self._template = _span_template(design, self.latency)
         self._compute()
 
     # -- computation -------------------------------------------------------------
@@ -110,24 +197,24 @@ class OperationSpans:
     def _candidate_edges(self, birth_edge: str, respect_floor: bool) -> List[str]:
         """Control-compatible edges for an op born on ``birth_edge``.
 
-        Pure in ``(birth_edge, respect_floor)`` for a fixed design, so the
-        result is memoized — operations share birth edges heavily and the
-        three passes of :meth:`_compute` each ask once per operation.  The
+        The floor-free lists come from the interned :class:`_SpanTemplate`;
+        only the ``not_before`` filter is per-instance, memoized here.  The
         cached lists are shared; callers must not mutate them.
         """
         key = (birth_edge, respect_floor)
         cached = self._candidate_memo.get(key)
         if cached is not None:
             return cached
-        edges = [
-            edge for edge in self.latency._forward_edges_ordered()
-            if self.latency.control_compatible(edge, birth_edge)
-        ]
-        if respect_floor and self._not_before_pos is not None:
+        edges = self._template.nofloor.get(birth_edge)
+        if edges is None:
             edges = [
-                edge for edge in edges
-                if self.latency.edge_order(edge) >= self._not_before_pos
+                edge for edge in self.latency._forward_edges_ordered()
+                if self.latency.control_compatible(edge, birth_edge)
             ]
+        if respect_floor and self._not_before_pos is not None:
+            floor = self._not_before_pos
+            order = self.latency.edge_order
+            edges = [edge for edge in edges if order(edge) >= floor]
         self._candidate_memo[key] = edges
         return edges
 
@@ -146,27 +233,36 @@ class OperationSpans:
         return [dfg.op(name) for name in dfg.successors(op.name)]
 
     def _compute(self) -> None:
-        dfg = self.design.dfg
-        order = dfg.topological_order()
+        # The reach sets make every reachability question a set-membership
+        # test (each set contains its own source edge, so the non-strict
+        # queries need no equality special case).
+        reach = self.latency._reach_set
+        pinned = self._pinned
+        records = self._template.records
+        order = self._template.order
+        strict_io = self.strict_io_successors
+        candidate_edges = self._candidate_edges
         early: Dict[str, str] = {}
         late: Dict[str, str] = {}
 
         # Forward pass: early edges.
         for name in order:
-            op = dfg.op(name)
-            pinned_edge = self._pinned.get(name)
+            _, birth, early_fixed, _, preds, _ = records[name]
+            pinned_edge = pinned.get(name)
             if pinned_edge is not None:
                 early[name] = pinned_edge
                 continue
-            if op.is_fixed:
-                early[name] = self._require_birth(op)
+            if early_fixed:
+                early[name] = birth
                 continue
-            birth = self._require_birth(op)
-            candidates = self._candidate_edges(birth, respect_floor=True)
-            preds = self._data_predecessors(op)
             chosen = None
-            for edge in candidates:
-                if all(self.latency.reachable(early[p.name], edge) for p in preds):
+            for edge in candidate_edges(birth, respect_floor=True):
+                ok = True
+                for pred in preds:
+                    if edge not in reach(early[pred]):
+                        ok = False
+                        break
+                if ok:
                     chosen = edge
                     break
             if chosen is None:
@@ -178,32 +274,29 @@ class OperationSpans:
 
         # Backward pass: late edges.
         for name in reversed(order):
-            op = dfg.op(name)
-            pinned_edge = self._pinned.get(name)
+            _, birth, _, late_fixed, _, succs = records[name]
+            pinned_edge = pinned.get(name)
             if pinned_edge is not None:
                 late[name] = pinned_edge
                 continue
-            if op.is_fixed or op.attrs.get("branch_condition"):
-                late[name] = self._require_birth(op)
+            if late_fixed:
+                late[name] = birth
                 continue
-            birth = self._require_birth(op)
-            candidates = self._candidate_edges(birth, respect_floor=False)
-            succs = self._data_successors(op)
+            early_reach = reach(early[name])
             chosen = None
-            for edge in reversed(candidates):
-                if not self.latency.reachable(early[name], edge):
+            for edge in reversed(candidate_edges(birth, respect_floor=False)):
+                if edge not in early_reach:
                     continue
                 ok = True
-                for succ in succs:
-                    succ_late = late[succ.name]
-                    if succ.is_fixed and self.strict_io_successors:
-                        if not self.latency.strictly_reachable(edge, succ_late):
+                for succ_name, succ_fixed in succs:
+                    succ_late = late[succ_name]
+                    if succ_fixed and strict_io:
+                        if edge == succ_late or succ_late not in reach(edge):
                             ok = False
                             break
-                    else:
-                        if not self.latency.reachable(edge, succ_late):
-                            ok = False
-                            break
+                    elif succ_late not in reach(edge):
+                        ok = False
+                        break
                 if ok:
                     chosen = edge
                     break
@@ -213,21 +306,24 @@ class OperationSpans:
             late[name] = chosen
 
         # Assemble span sets.
+        spans = self._spans
         for name in order:
-            op = dfg.op(name)
-            birth = self._require_birth(op)
-            if name in self._pinned:
-                edges = (self._pinned[name],)
+            birth = records[name][1]
+            pinned_edge = pinned.get(name)
+            if pinned_edge is not None:
+                edges = (pinned_edge,)
             else:
+                early_name = early[name]
+                late_name = late[name]
+                early_reach = reach(early_name)
                 edges = tuple(
-                    edge for edge in self._candidate_edges(birth, respect_floor=False)
-                    if self.latency.reachable(early[name], edge)
-                    and self.latency.reachable(edge, late[name])
+                    edge for edge in candidate_edges(birth, respect_floor=False)
+                    if edge in early_reach and late_name in reach(edge)
                 )
                 if not edges:
-                    edges = (early[name],)
-            self._spans[name] = SpanInfo(op=name, early=early[name],
-                                         late=late[name], edges=edges)
+                    edges = (early_name,)
+            spans[name] = SpanInfo(op=name, early=early[name],
+                                   late=late[name], edges=edges)
 
     def _require_birth(self, op: Operation) -> str:
         if op.birth_edge is None:

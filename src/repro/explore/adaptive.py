@@ -55,6 +55,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 from repro.errors import ReproError
 from repro.flows.dse import DesignPoint
 from repro.flows.engine import DSEEngine
+from repro.flows.sweep import SweepSession
 from repro.explore.pareto import (
     OBJECTIVE_SENSES,
     EpsilonSpec,
@@ -245,6 +246,10 @@ class AdaptiveExplorer:
         self._engine_evaluations = 0
         self._restored = 0
         self._deduplicated = 0
+        # One sweep session spans every refinement wave, so serial engine
+        # runs keep their interned designs and artifact bundles warm from
+        # wave to wave (pool executors ignore it — workers cannot share).
+        self._session: Optional[SweepSession] = None
 
     # -- evaluation --------------------------------------------------------------
 
@@ -310,9 +315,16 @@ class AdaptiveExplorer:
                 raise ReproError("evaluate_batch returned a result count "
                                  "mismatching its input points")
         else:
+            engine_kwargs = dict(self.engine_kwargs)
+            if "session" not in engine_kwargs:
+                if self._session is None:
+                    self._session = SweepSession(
+                        self.design_factory, self.library,
+                        margin_fraction=self.margin_fraction)
+                engine_kwargs["session"] = self._session
             engine = DSEEngine(self.design_factory, self.library, points,
                                margin_fraction=self.margin_fraction,
-                               **self.engine_kwargs)
+                               **engine_kwargs)
             result = engine.run()
             result.raise_on_errors()
             metrics_list = [outcome.metrics for outcome in result.outcomes]

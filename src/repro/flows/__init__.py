@@ -11,6 +11,10 @@
 * :mod:`repro.flows.engine` — the parallel, resumable :class:`DSEEngine`
   that fans design points out over a process pool with checkpoint/resume,
   plus :func:`scenario_sweep` for kernel/random workload suites.
+* :mod:`repro.flows.sweep` — the batched :class:`SweepSession` evaluation
+  API: interned designs, shared artifact bundles and delta-friendly visit
+  order behind the serial harnesses (bit-for-bit equal to per-point
+  evaluation; the ``sweep-session`` oracle fuzzes that equivalence).
 * :mod:`repro.flows.pipeline` — the per-point pipeline stage
   (:class:`PointArtifacts`) shared by the flows and the sweep harnesses.
 * :mod:`repro.flows.report` — text tables matching the paper's layout.
@@ -31,6 +35,12 @@ from repro.flows.dse import (
     latency_grid,
     run_dse,
     idct_design_points,
+)
+from repro.flows.sweep import (
+    SweepSession,
+    SweepStats,
+    knob_distance,
+    sweep_plan,
 )
 from repro.flows.engine import (
     DSEEngine,
@@ -62,6 +72,10 @@ __all__ = [
     "latency_grid",
     "run_dse",
     "idct_design_points",
+    "SweepSession",
+    "SweepStats",
+    "sweep_plan",
+    "knob_distance",
     "DSEEngine",
     "EngineResult",
     "PointOutcome",

@@ -9,17 +9,14 @@ runs both flows and collects areas, powers, throughputs and run times.
 
 from __future__ import annotations
 
-import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.errors import ReproError
 from repro.ir.design import Design
 from repro.lib.library import Library
-from repro.flows.conventional import conventional_flow
-from repro.flows.pipeline import PointArtifacts
 from repro.flows.result import FlowResult
-from repro.flows.slack_based import slack_based_flow
 
 
 @dataclass(frozen=True)
@@ -222,43 +219,54 @@ def evaluate_point(
     (:meth:`PointArtifacts.build`); the cache contract says both paths are
     bit-for-bit identical, which is exactly what the pipeline-cache oracle
     of :mod:`repro.verify.oracles` checks on generated scenarios.
+
+    This function is now a thin shim over a one-point
+    :class:`repro.flows.sweep.SweepSession`; sweeps of more than one point
+    should hold a session (or use :func:`run_dse` /
+    :class:`repro.flows.engine.DSEEngine`, which do) so cross-point sharing
+    actually amortizes.
     """
-    design = design_factory(point)
-    artifacts = PointArtifacts.of(design) if use_cache \
-        else PointArtifacts.build(design)
-    conventional = conventional_flow(
-        design, library, clock_period=point.clock_period,
-        pipeline_ii=point.pipeline_ii, artifacts=artifacts,
-    )
-    slack = slack_based_flow(
-        design, library, clock_period=point.clock_period,
-        pipeline_ii=point.pipeline_ii, margin_fraction=margin_fraction,
-        artifacts=artifacts,
-    )
-    return DSEEntry(point=point, conventional=conventional, slack_based=slack)
+    from repro.flows.sweep import SweepSession
+
+    session = SweepSession(design_factory, library,
+                           margin_fraction=margin_fraction,
+                           use_cache=use_cache)
+    return session.evaluate(point)
 
 
 def run_dse(
     design_factory: Callable[[DesignPoint], Design],
     library: Library,
     points: Sequence[DesignPoint],
-    flows: Sequence[str] = ("conventional", "slack"),
+    flows: Optional[Sequence[str]] = None,
     margin_fraction: float = 0.05,
 ) -> DSEResult:
     """Run the conventional and slack-based flows over all ``points``.
 
     ``design_factory`` maps a :class:`DesignPoint` to a :class:`Design`
     (typically a lambda around :func:`repro.workloads.idct_design`).
+
+    The serial harness is a thin shim over a batched
+    :class:`repro.flows.sweep.SweepSession`, which visits the points in
+    delta-friendly order (structure-grouped, clock-adjacent) and returns
+    entries in the input order; per-point metrics are identical to the old
+    point-at-a-time loop.
+
+    .. deprecated::
+        The ``flows`` selector never selected anything — both flows were
+        always required — and is slated for removal; the session API always
+        runs both.  Passing it explicitly raises a ``DeprecationWarning``.
     """
-    if "conventional" not in flows or "slack" not in flows:
-        raise ReproError("the DSE harness compares the conventional and slack flows; "
-                         "both must be enabled")
-    start = time.perf_counter()
-    result = DSEResult()
-    for point in points:
-        result.entries.append(
-            evaluate_point(design_factory, library, point,
+    if flows is not None:
+        warnings.warn(
+            "run_dse(flows=...) is deprecated and slated for removal: the "
+            "sweep always runs both flows (SweepSession compares them)",
+            DeprecationWarning, stacklevel=2)
+        if "conventional" not in flows or "slack" not in flows:
+            raise ReproError("the DSE harness compares the conventional and "
+                             "slack flows; both must be enabled")
+    from repro.flows.sweep import SweepSession
+
+    session = SweepSession(design_factory, library,
                            margin_fraction=margin_fraction)
-        )
-    result.wall_time_seconds = time.perf_counter() - start
-    return result
+    return session.run(points)

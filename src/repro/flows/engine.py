@@ -43,6 +43,7 @@ from repro.errors import ReproError
 from repro.ir.design import Design
 from repro.lib.library import Library
 from repro.flows.dse import DesignPoint, DSEEntry, DSEResult, evaluate_point
+from repro.flows.sweep import SweepSession
 
 CHECKPOINT_VERSION = 1
 
@@ -144,6 +145,22 @@ def _evaluate_payload(payload):
                 traceback.format_exc(), time.perf_counter() - start)
 
 
+def _evaluate_in_session(session: SweepSession, index: int, point: DesignPoint):
+    """Serial-path twin of :func:`_evaluate_payload` over a shared session.
+
+    Same result tuple, same never-raise isolation; the session keeps its
+    interned designs and artifact bundles warm across the whole sweep,
+    which is what the pool paths cannot share between workers.
+    """
+    start = time.perf_counter()
+    try:
+        entry = session.evaluate(point)
+        return (index, "ok", entry, None, None, time.perf_counter() - start)
+    except Exception as exc:  # noqa: BLE001 — per-point isolation is the point
+        return (index, "error", None, f"{type(exc).__name__}: {exc}",
+                traceback.format_exc(), time.perf_counter() - start)
+
+
 class DSEEngine:
     """Parallel, cache-aware, resumable driver for design-space sweeps.
 
@@ -189,6 +206,14 @@ class DSEEngine:
         slower, but a bit-for-bit-equal execution mode by the cache
         contract.  The differential fuzzing layer (:mod:`repro.verify`)
         sweeps scenarios in both modes and asserts metric equality.
+    session:
+        Optional :class:`repro.flows.sweep.SweepSession` backing the
+        *serial* execution path (pool workers cannot share one).  When
+        omitted, a serial run creates its own session; passing one lets a
+        driver (e.g. :class:`repro.explore.adaptive.AdaptiveExplorer`) keep
+        interned designs and artifact bundles warm across several engine
+        runs.  Session evaluation is bit-for-bit identical to the per-point
+        path, so serial and pool sweeps still agree entry for entry.
     """
 
     def __init__(
@@ -203,6 +228,7 @@ class DSEEngine:
         precomputed: Optional[Dict[str, Dict[str, object]]] = None,
         progress: Optional[Callable[[ProgressEvent], None]] = None,
         use_analysis_cache: bool = True,
+        session: Optional[SweepSession] = None,
     ):
         if executor not in ("auto", "process", "thread", "serial"):
             raise ReproError(f"unknown executor {executor!r}")
@@ -219,6 +245,7 @@ class DSEEngine:
         self.precomputed = dict(precomputed) if precomputed else {}
         self.progress = progress
         self.use_analysis_cache = use_analysis_cache
+        self.session = session
 
     # -- checkpointing -----------------------------------------------------------
 
@@ -395,9 +422,13 @@ class DSEEngine:
                     self.margin_fraction, self.use_analysis_cache)
 
         if mode == "serial" or not pending:
+            session = self.session if self.session is not None else SweepSession(
+                self.design_factory, self.library,
+                margin_fraction=self.margin_fraction,
+                use_cache=self.use_analysis_cache)
             for index, point in pending:
                 outcome = self._outcome_from_result(
-                    _evaluate_payload(payload(index, point)), records)
+                    _evaluate_in_session(session, index, point), records)
                 outcomes[index] = outcome
                 done += 1
                 self._write_checkpoint(records)

@@ -1,0 +1,13 @@
+"""Batched cross-point sweep evaluation (the session API).
+
+:class:`SweepSession` evaluates a sequence of design points with deliberate
+cross-point sharing — interned designs, fingerprint-shared artifact bundles
+and delta-friendly visit order — while staying bit-for-bit identical to the
+per-point :func:`repro.flows.dse.evaluate_point` (the ``sweep-session``
+differential oracle and the Table-4 golden-metrics file both pin that).
+"""
+
+from repro.flows.sweep.ordering import knob_distance, sweep_plan
+from repro.flows.sweep.session import SweepSession, SweepStats
+
+__all__ = ["SweepSession", "SweepStats", "sweep_plan", "knob_distance"]

@@ -67,6 +67,10 @@ class ResourceClass:
         self.width = width
         self._variants: List[ResourceVariant] = sorted(variants, key=lambda v: v.delay)
         self._check_monotone()
+        # Position-by-name map: grade stepping is on the budgeting hot loop,
+        # and list.index over frozen dataclasses pays a field-wise __eq__ per
+        # probe.  Names are unique within a library.
+        self._positions = {v.name: i for i, v in enumerate(self._variants)}
 
     def _check_monotone(self) -> None:
         """Faster variants must not be smaller than slower ones.
@@ -130,16 +134,25 @@ class ResourceClass:
             return self.fastest
         return min(feasible, key=lambda v: (v.area, v.delay))
 
+    def _position(self, variant: ResourceVariant) -> int:
+        index = self._positions.get(variant.name)
+        if index is not None and self._variants[index] is variant:
+            return index
+        # A same-named but distinct variant object (e.g. from another library
+        # build) falls back to the linear scan, which raises ValueError for
+        # true strangers exactly as list.index always did.
+        return self._variants.index(variant)
+
     def next_slower(self, variant: ResourceVariant) -> Optional[ResourceVariant]:
         """The next slower grade, or None if ``variant`` is already slowest."""
-        index = self._variants.index(variant)
+        index = self._position(variant)
         if index + 1 < len(self._variants):
             return self._variants[index + 1]
         return None
 
     def next_faster(self, variant: ResourceVariant) -> Optional[ResourceVariant]:
         """The next faster grade, or None if ``variant`` is already fastest."""
-        index = self._variants.index(variant)
+        index = self._position(variant)
         if index > 0:
             return self._variants[index - 1]
         return None

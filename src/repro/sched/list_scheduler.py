@@ -31,6 +31,7 @@ from repro.sched.priorities import PriorityFn, mobility_priority
 from repro.sched.schedule import Schedule
 
 _EPS = 1e-6
+_MISSING = object()
 
 
 @dataclass
@@ -118,46 +119,75 @@ def try_list_schedule(
     budget = clock_period - timing_margin
 
     pending = {op.name for op in dfg.operations if op.kind is not OpKind.CONST}
+    # Operations are only ever removed from ``pending`` during a pass, so one
+    # up-front sort fixes the deterministic scan order for the whole pass:
+    # filtering the sorted list by membership yields exactly ``sorted(pending)``.
+    pending_order = sorted(pending)
+    # Non-constant data predecessors, resolved once per pass.  Constant
+    # predecessors are never scheduled (they are excluded from ``pending``),
+    # so every consumer below — the ready check, the chained-start scan and
+    # the chain-driver walk — only ever observes the non-constant ones.
+    preds_map = {
+        name: tuple(p for p in dfg.predecessors(name)
+                    if dfg.op(p).kind is not OpKind.CONST)
+        for name in pending_order
+    }
+    class_keys: Dict[str, Optional[ClassKey]] = {}
     usage: Dict[Tuple[int, ClassKey], int] = {}
     edge_order = latency.forward_edge_names
     edge_step = {name: index for index, name in enumerate(edge_order)}
+    mod_ii = pipeline_ii if pipeline_ii is not None and pipeline_ii >= 1 else None
 
-    def usage_slot(step: int) -> int:
-        if pipeline_ii is not None and pipeline_ii >= 1:
-            return step % pipeline_ii
-        return step
+    def class_key_of(name: str) -> Optional[ClassKey]:
+        key = class_keys.get(name, _MISSING)
+        if key is _MISSING:
+            key = resource_class_key(dfg.op(name), library)
+            class_keys[name] = key
+        return key
 
     for edge_name in edge_order:
         step = edge_step[edge_name]
-        progressed = True
+        slot_step = step % mod_ii if mod_ii is not None else step
+        # Drop already-scheduled names; membership filtering preserves the
+        # deterministic sorted order.
+        pending_order = [n for n in pending_order if n in pending]
+        # Spans only change in the post-edge hook, so which pending operations
+        # may sit on this edge is fixed for the whole edge — only readiness
+        # (predecessors leaving ``pending``) evolves between rounds.
+        span_of = spans.span
+        eligible: List[Tuple[str, SpanInfo]] = []
+        for name in pending_order:
+            info = span_of(name)
+            if edge_name in info.edges:
+                eligible.append((name, info))
+        progressed = bool(eligible)
         while progressed:
             progressed = False
-            ready: List[str] = []
-            for name in sorted(pending):
-                info = spans.span(name)
-                if edge_name not in info:
+            ready: List[Tuple[str, SpanInfo]] = []
+            for name, info in eligible:
+                if name not in pending:
                     continue
-                preds = dfg.predecessors(name)
-                if any(p in pending and dfg.op(p).kind is not OpKind.CONST
-                       for p in preds):
+                if any(p in pending for p in preds_map[name]):
                     continue
-                ready.append(name)
+                ready.append((name, info))
             # Operations on the last edge of their span must go first: deferring
             # them is impossible, so they get priority over movable ones.
-            ready.sort(key=lambda n: (0 if spans.span(n).late == edge_name else 1,
-                                      priority(n)))
-            for name in ready:
+            ready.sort(key=lambda item: (0 if item[1].late == edge_name else 1,
+                                         priority(item[0])))
+            for name, info in ready:
                 op = dfg.op(name)
                 variant = variant_map.get(name)
                 delay = _op_delay(op, library, variant)
                 start = 0.0
-                for pred in dfg.predecessors(name):
-                    if schedule.is_scheduled(pred) and schedule.edge_of(pred) == edge_name:
-                        start = max(start, schedule.item(pred).finish)
+                for pred in preds_map[name]:
+                    pred_item = schedule.get(pred)
+                    if (pred_item is not None and pred_item.edge == edge_name
+                            and pred_item.finish > start):
+                        start = pred_item.finish
                 finish = start + delay
                 fits_timing = finish <= budget + _EPS
-                last_chance_here = (edge_name == spans.span(name).late)
-                if (not fits_timing and last_chance_here and upgrade_on_last_chance
+                last_chance = (edge_name == info.late)
+                if (not fits_timing and last_chance and upgrade_on_last_chance
                         and variant is not None and op.is_synthesizable):
                     # Upgrade on the fly: take the cheapest grade that fits.
                     resource_class = library.class_for_op(op)
@@ -169,11 +199,10 @@ def try_list_schedule(
                         fits_timing = finish <= budget + _EPS
                         if isinstance(variant_map, dict):
                             variant_map[name] = faster
-                key = resource_class_key(op, library)
-                slot = (usage_slot(step), key) if key is not None else None
+                key = class_key_of(name)
+                slot = (slot_step, key) if key is not None else None
                 fits_resource = (key is None or
                                  usage.get(slot, 0) < allocation.limit(key))
-                last_chance = last_chance_here
                 if fits_timing and fits_resource:
                     schedule.assign(name, edge_name, step, start, finish, variant)
                     pending.discard(name)
@@ -200,11 +229,12 @@ def try_list_schedule(
                         while True:
                             chain_pred = None
                             latest_finish = -1.0
-                            for pred in dfg.predecessors(current):
-                                if (schedule.is_scheduled(pred)
-                                        and schedule.edge_of(pred) == edge_name
-                                        and schedule.item(pred).finish > latest_finish):
-                                    latest_finish = schedule.item(pred).finish
+                            for pred in preds_map.get(current, ()):
+                                pred_item = schedule.get(pred)
+                                if (pred_item is not None
+                                        and pred_item.edge == edge_name
+                                        and pred_item.finish > latest_finish):
+                                    latest_finish = pred_item.finish
                                     chain_pred = pred
                             if chain_pred is None:
                                 break
@@ -231,8 +261,9 @@ def try_list_schedule(
                     priority = new_priority
         # Any pending operation whose span ends here but never became ready
         # (its predecessors are stuck) is a hard failure.
-        for name in sorted(pending):
-            if spans.span(name).late == edge_name:
+        span_of = spans.span
+        for name in pending_order:
+            if name in pending and span_of(name).late == edge_name:
                 return SchedulingAttempt(
                     success=False,
                     failure=SchedulingFailure(

@@ -71,6 +71,10 @@ class Schedule:
     def is_scheduled(self, op: str) -> bool:
         return op in self._items
 
+    def get(self, op: str) -> Optional[ScheduledOp]:
+        """The scheduled item of ``op``, or None if it is not scheduled."""
+        return self._items.get(op)
+
     def item(self, op: str) -> ScheduledOp:
         try:
             return self._items[op]

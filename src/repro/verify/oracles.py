@@ -16,6 +16,11 @@ oracle                          equivalence under test
                                 sweeps produce identical per-point metrics/errors
 ``pipeline-cache``              :func:`repro.flows.dse.evaluate_point` with the
                                 process-wide analysis cache vs. a private bundle
+``sweep-session``               batched :class:`repro.flows.sweep.SweepSession`
+                                evaluation vs. independent per-point
+                                :func:`~repro.flows.dse.evaluate_point` runs,
+                                **exact** metrics equality (and matching
+                                per-point feasibility verdicts)
 ``pareto-front``                :func:`repro.explore.pareto.front_invariant_violations`
                                 on a scenario-seeded generated front
 ``graphkit-kernels``            CSR array kernels (sequential slack and
@@ -53,6 +58,8 @@ from repro.flows.conventional import conventional_flow
 from repro.flows.dse import DSEEntry, evaluate_point
 from repro.flows.engine import DSEEngine
 from repro.flows.pipeline import PointArtifacts
+from repro.flows.sweep import SweepSession
+from repro.core.analysis_cache import AnalysisCache
 from repro.lib.library import Library
 from repro.lib.tsmc90 import tsmc90_library
 from repro.core.bellman_ford import compute_sequential_slack_bellman_ford
@@ -308,6 +315,75 @@ def _check_pipeline_cache(spec: ScenarioSpec, library: Library) -> str:
     if json_cached != json_fresh:
         return "metrics with the analysis cache differ from a fresh bundle"
     return ""
+
+
+# -- oracle: batched sweep session vs independent per-point evaluation -------------
+
+
+@oracle("sweep-session",
+        "batched SweepSession evaluation == independent per-point "
+        "evaluate_point (exact metrics equality, matching feasibility)")
+def _check_sweep_session(spec: ScenarioSpec, library: Library) -> str:
+    """The session's cross-point sharing must be observationally invisible.
+
+    One session evaluates three knob-neighboring points of the scenario (the
+    base clock, a slower and a faster one — same structure, so the second
+    and third ride the session's delta path), each compared against a fresh
+    ``evaluate_point`` with a private artifact bundle.  When every point is
+    feasible, a second session runs the same points *batched* through
+    ``run`` and must reproduce the per-point metrics in caller order.
+    """
+    factory = spec.factory()
+    points = [
+        spec.point("p0"),
+        spec.point("p1", clock_period=spec.clock_period * 1.25),
+        spec.point("p2", clock_period=spec.clock_period * 0.8),
+    ]
+    session = SweepSession(factory, library,
+                           margin_fraction=spec.margin_fraction,
+                           cache=AnalysisCache())
+    problems: List[str] = []
+    per_point_json: List[Optional[str]] = []
+    all_ok = True
+    for point in points:
+        shared, error_shared = _run_side(lambda: session.evaluate(point))
+        solo, error_solo = _run_side(lambda: evaluate_point(
+            factory, library, point, margin_fraction=spec.margin_fraction,
+            use_cache=False))
+        verdict = _compare_failures("session", error_shared,
+                                    "per-point", error_solo)
+        if verdict is not None:
+            all_ok = False
+            per_point_json.append(None)
+            if verdict:
+                problems.append(f"{point.name}: {verdict}")
+            continue
+        json_shared = _entry_metrics_json(shared)
+        json_solo = _entry_metrics_json(solo)
+        per_point_json.append(json_solo)
+        if json_shared != json_solo:
+            problems.append(f"{point.name}: session metrics differ from "
+                            "per-point evaluation")
+
+    if all_ok and not problems:
+        batch_session = SweepSession(factory, library,
+                                     margin_fraction=spec.margin_fraction,
+                                     cache=AnalysisCache())
+        batched, error_batched = _run_side(lambda: batch_session.run(points))
+        if error_batched is not None:
+            problems.append(f"batched run failed where per-point evaluation "
+                            f"succeeded: {error_batched}")
+        else:
+            for point, entry, expected in zip(points, batched.entries,
+                                              per_point_json):
+                if entry.point.name != point.name:
+                    problems.append(f"batched run reordered results: got "
+                                    f"{entry.point.name} at {point.name}'s slot")
+                    break
+                if _entry_metrics_json(entry) != expected:
+                    problems.append(f"{point.name}: batched metrics differ "
+                                    "from per-point evaluation")
+    return "; ".join(problems)
 
 
 # -- oracle: graphkit CSR kernels vs reference implementations ---------------------

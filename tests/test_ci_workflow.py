@@ -129,6 +129,12 @@ def test_packaging_job_builds_installs_and_imports(workflow):
     assert "import repro" in run_text
     assert "repro.explore" in run_text and "repro.verify" in run_text
     assert "repro-verify" in run_text and "repro-explore" in run_text
+    # The unified dispatcher and the sweep-session layer must survive
+    # packaging: the `repro` script resolves and a one-point batched sweep
+    # runs from the installed wheel.
+    assert "repro --help" in run_text
+    assert "repro sweep" in run_text
+    assert "repro.flows.sweep" in run_text
 
 
 def test_perf_baseline_is_committed_and_well_formed():
@@ -142,3 +148,8 @@ def test_perf_baseline_is_committed_and_well_formed():
     assert isinstance(data["benchmarks"], dict) and data["benchmarks"]
     assert all(isinstance(mean, (int, float)) and mean > 0
                for mean in data["benchmarks"].values())
+    # The batched-vs-per-point sweep benchmark must stay under the perf
+    # gate: it is the entry that watches the SweepSession delta path.
+    assert ("benchmarks/test_bench_kernel_sweep.py::"
+            "test_batched_session_matches_and_beats_per_point"
+            in data["benchmarks"])

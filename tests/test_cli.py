@@ -1,0 +1,54 @@
+"""Tests of the unified ``repro`` console script."""
+
+import json
+
+from repro.cli import main
+
+
+def test_no_command_prints_usage(capsys):
+    assert main([]) == 2
+    out = capsys.readouterr().out
+    assert "explore" in out and "verify" in out and "sweep" in out
+
+
+def test_help_flag_prints_usage(capsys):
+    assert main(["--help"]) == 0
+    assert "usage: repro" in capsys.readouterr().out
+
+
+def test_unknown_command_fails(capsys):
+    assert main(["frobnicate"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown command" in err
+
+
+def test_verify_subcommand_forwards(capsys):
+    # A tiny deterministic fuzz slice through the forwarding path.
+    code = main(["verify", "run", "--iterations", "2", "--seed", "7",
+                 "--oracles", "pareto-front", "--no-shrink"])
+    assert code == 0
+
+
+def test_explore_subcommand_forwards(capsys):
+    code = main(["explore", "--workload", "fir", "--latencies", "6:8",
+                 "--dense"])
+    assert code == 0
+    assert "frontier" in capsys.readouterr().out
+
+
+def test_sweep_subcommand_runs_session(tmp_path, capsys):
+    out_path = tmp_path / "metrics.json"
+    code = main(["sweep", "--rows", "1", "--latencies", "6:7",
+                 "--stats", "--json", str(out_path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Sweep: 2 point(s)" in out
+    assert "SweepSession reuse" in out
+    metrics = json.loads(out_path.read_text())
+    assert len(metrics) == 2
+    assert {m["point"]["name"] for m in metrics} == {"L6", "L7"}
+
+
+def test_sweep_rejects_bad_grid(capsys):
+    assert main(["sweep", "--latencies", "not-a-grid"]) == 2
+    assert "LO:HI" in capsys.readouterr().err

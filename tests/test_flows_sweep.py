@@ -1,0 +1,224 @@
+"""Tests of the batched sweep-session evaluation API.
+
+The contract under test everywhere: a :class:`repro.flows.sweep.SweepSession`
+is observationally identical to independent per-point
+:func:`repro.flows.dse.evaluate_point` runs — float for float in the metrics
+JSON — while actually sharing designs, artifact bundles and warm delta
+caches across the points.
+"""
+
+import json
+import warnings
+
+import pytest
+
+from repro.flows import (
+    DesignPoint,
+    DSEEngine,
+    SweepSession,
+    evaluate_point,
+    knob_distance,
+    latency_grid,
+    run_dse,
+    sweep_plan,
+)
+from repro.core.analysis_cache import AnalysisCache
+from repro.lib.tsmc90 import tsmc90_library
+from repro.verify.scenarios import generate_scenario
+from repro.workloads.factories import KernelPointFactory
+
+CLOCK = 1500.0
+
+
+@pytest.fixture(scope="module")
+def library():
+    return tsmc90_library()
+
+
+@pytest.fixture(scope="module")
+def factory():
+    return KernelPointFactory("fir", params=(("taps", 8),))
+
+
+def _metrics_json(entry) -> str:
+    return json.dumps(entry.metrics(), sort_keys=True)
+
+
+# -- ordering ----------------------------------------------------------------------
+
+
+def test_sweep_plan_is_a_permutation():
+    points = [
+        DesignPoint("a", latency=8, clock_period=2000.0),
+        DesignPoint("b", latency=6, clock_period=1500.0),
+        DesignPoint("c", latency=8, clock_period=1500.0),
+        DesignPoint("d", latency=6, pipeline_ii=3, clock_period=1500.0),
+        DesignPoint("e", latency=6, clock_period=1200.0),
+    ]
+    plan = sweep_plan(points)
+    assert sorted(plan) == list(range(len(points)))
+    ordered = [points[i] for i in plan]
+    # Structure-grouped: both latency-8 non-pipelined points are adjacent,
+    # clocks ascending within the group; pipelined trails its latency group.
+    assert [p.name for p in ordered] == ["e", "b", "d", "c", "a"]
+
+
+def test_sweep_plan_neighbors_share_structure_when_possible():
+    points = latency_grid(6, 8, clock_period=CLOCK) \
+        + latency_grid(6, 8, clock_period=2 * CLOCK, prefix="S")
+    ordered = [points[i] for i in sweep_plan(points)]
+    # Every same-latency pair must be adjacent (differ only in the clock).
+    for left, right in zip(ordered, ordered[1:]):
+        if left.latency == right.latency:
+            assert knob_distance(left, right) == 1
+
+
+def test_sweep_plan_is_stable_for_identical_knobs():
+    points = [DesignPoint(f"p{i}", latency=6, clock_period=CLOCK)
+              for i in range(4)]
+    assert sweep_plan(points) == [0, 1, 2, 3]
+
+
+def test_knob_distance_counts_differing_knobs():
+    base = DesignPoint("x", latency=6, clock_period=CLOCK)
+    assert knob_distance(base, base) == 0
+    assert knob_distance(
+        base, DesignPoint("y", latency=6, clock_period=2000.0)) == 1
+    assert knob_distance(
+        base, DesignPoint("z", latency=8, pipeline_ii=4,
+                          clock_period=2000.0)) == 3
+
+
+# -- session semantics -------------------------------------------------------------
+
+
+def test_run_returns_entries_in_caller_order(library, factory):
+    points = [
+        DesignPoint("late", latency=8, clock_period=CLOCK),
+        DesignPoint("early", latency=6, clock_period=CLOCK),
+        DesignPoint("mid", latency=7, clock_period=CLOCK),
+    ]
+    result = SweepSession(factory, library, cache=AnalysisCache()).run(points)
+    assert [entry.point.name for entry in result.entries] \
+        == ["late", "early", "mid"]
+
+
+def test_session_matches_per_point_evaluation(library, factory):
+    points = [
+        DesignPoint("a", latency=6, clock_period=CLOCK),
+        DesignPoint("b", latency=6, clock_period=1.25 * CLOCK),
+        DesignPoint("c", latency=8, clock_period=CLOCK),
+    ]
+    session = SweepSession(factory, library, cache=AnalysisCache())
+    batched = session.run(points)
+    for point, entry in zip(points, batched.entries):
+        solo = evaluate_point(factory, library, point, use_cache=False)
+        assert _metrics_json(entry) == _metrics_json(solo), point.name
+
+
+def test_session_counts_delta_and_fallback_points(library, factory):
+    session = SweepSession(factory, library, cache=AnalysisCache())
+    same_structure = DesignPoint("p0", latency=6, clock_period=CLOCK)
+    session.evaluate(same_structure)
+    assert session.stats.full_evaluations == 1
+    assert session.stats.delta_points == 0
+    # Same structure at a different clock: delta path, shared bundle.
+    session.evaluate(DesignPoint("p0", latency=6, clock_period=1.2 * CLOCK))
+    assert session.stats.delta_points == 1
+    assert session.stats.interned_reuses == 1
+    assert session.stats.artifacts_shared == 1
+    # A structurally diverging point falls back to a full evaluation.
+    session.evaluate(DesignPoint("p1", latency=8, clock_period=CLOCK))
+    assert session.stats.full_evaluations == 2
+    assert session.stats.points_evaluated == 3
+    assert session.stats.delta_evaluators > 0
+    assert session.stats.delta_updates >= session.stats.delta_evaluators
+
+
+def test_private_session_never_touches_shared_cache(library, factory):
+    cache = AnalysisCache()
+    session = SweepSession(factory, library, cache=cache, use_cache=False)
+    session.evaluate(DesignPoint("p0", latency=6, clock_period=CLOCK))
+    assert cache.cache_info()["artifacts"]["size"] == 0
+    assert session.stats.artifacts_built == 1
+
+
+def test_seeded_property_sweep_batched_equals_per_point(library):
+    """The ISSUE's property sweep: segmented designs (mixed widths, wait
+    states, diamond CFGs) across clock-period knobs, batched == per-point
+    float for float."""
+    for seed in (5, 29, 73):
+        spec = generate_scenario(seed)
+        factory = spec.factory()
+        points = [
+            spec.point("q0"),
+            spec.point("q1", clock_period=spec.clock_period * 1.25),
+            spec.point("q2", clock_period=spec.clock_period * 0.8),
+        ]
+        session = SweepSession(factory, library,
+                               margin_fraction=spec.margin_fraction,
+                               cache=AnalysisCache())
+
+        def evaluate(callable_):
+            try:
+                return _metrics_json(callable_()), None
+            except Exception as exc:  # infeasible scenarios must agree too
+                return None, f"{type(exc).__name__}: {exc}"
+
+        for point in points:
+            got, got_error = evaluate(lambda: session.evaluate(point))
+            want, want_error = evaluate(lambda: evaluate_point(
+                factory, library, point,
+                margin_fraction=spec.margin_fraction, use_cache=False))
+            assert got_error == want_error, f"seed={seed} {point.name}"
+            assert got == want, f"seed={seed} {point.name}"
+
+
+# -- shims and rewired call paths --------------------------------------------------
+
+
+def test_run_dse_flows_argument_is_deprecated(library, factory):
+    points = [DesignPoint("p0", latency=6, clock_period=CLOCK)]
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        baseline = run_dse(factory, library, points)
+    with pytest.deprecated_call():
+        legacy = run_dse(factory, library, points,
+                         flows=("conventional", "slack"))
+    assert json.dumps(legacy.metrics_list(), sort_keys=True) \
+        == json.dumps(baseline.metrics_list(), sort_keys=True)
+
+
+def test_run_dse_flows_argument_still_validates(library, factory):
+    from repro.errors import ReproError
+
+    with pytest.deprecated_call():
+        with pytest.raises(ReproError):
+            run_dse(factory, library, [], flows=("conventional",))
+
+
+def test_evaluate_point_shim_matches_session_path(library, factory):
+    """The one-point shim and an explicit session agree byte for byte."""
+    point = DesignPoint("p0", latency=6, clock_period=CLOCK)
+    shim = evaluate_point(factory, library, point, use_cache=False)
+    session = SweepSession(factory, library, cache=AnalysisCache())
+    assert _metrics_json(shim) == _metrics_json(session.evaluate(point))
+
+
+def test_engine_serial_path_uses_shared_session(library, factory):
+    points = [
+        DesignPoint("p0", latency=6, clock_period=CLOCK),
+        DesignPoint("p1", latency=6, clock_period=1.25 * CLOCK),
+    ]
+    session = SweepSession(factory, library, cache=AnalysisCache())
+    engine = DSEEngine(factory, library, points, executor="serial",
+                       session=session)
+    result = engine.run()
+    assert not result.errors
+    assert session.stats.points_evaluated == 2
+    assert session.stats.delta_points == 1
+    # And the session-backed sweep equals a per-point baseline.
+    for point, outcome in zip(points, result.outcomes):
+        solo = evaluate_point(factory, library, point, use_cache=False)
+        assert json.dumps(outcome.metrics, sort_keys=True) \
+            == _metrics_json(solo)

@@ -50,3 +50,42 @@ def test_top_level_reexports():
     # The curated public names promised by repro.__all__ must resolve.
     for name in repro.__all__:
         assert getattr(repro, name) is not None
+
+
+#: The pinned top-level surface.  Removing or renaming any of these is a
+#: breaking API change and must be deliberate (update this list in the same
+#: change, with a deprecation path for the old name).
+PINNED_SURFACE = {
+    # errors
+    "ReproError", "IRError", "ElaborationError", "LibraryError",
+    "TimingError", "SchedulingError", "BindingError", "InfeasibleDesignError",
+    # flows / session API
+    "SweepSession", "SweepStats", "sweep_plan",
+    "DesignPoint", "DSEEntry", "DSEResult",
+    "evaluate_point", "run_dse", "idct_design_points", "latency_grid",
+    "DSEEngine", "PointArtifacts", "conventional_flow", "slack_based_flow",
+    # exploration
+    "AdaptiveExplorer", "RefinementPolicy", "ResultStore",
+    # verification
+    "ORACLES", "Oracle", "oracle",
+}
+
+
+def test_pinned_surface_is_promised_and_resolves():
+    missing = PINNED_SURFACE - set(repro.__all__)
+    assert not missing, f"pinned names missing from repro.__all__: {missing}"
+    for name in sorted(PINNED_SURFACE):
+        assert getattr(repro, name) is not None
+    # Lazy resolution caches into the module namespace (PEP 562 fast path).
+    assert "SweepSession" in vars(repro)
+
+
+def test_unknown_attribute_raises():
+    with pytest.raises(AttributeError):
+        repro.definitely_not_an_api  # noqa: B018
+
+
+def test_dir_lists_lazy_names():
+    listing = dir(repro)
+    assert "SweepSession" in listing
+    assert "AdaptiveExplorer" in listing

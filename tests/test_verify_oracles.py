@@ -14,7 +14,7 @@ from repro.verify.oracles import (
 from repro.verify.scenarios import generate_scenario
 
 EXPECTED_ORACLES = ("area-recovery", "sequential-slack", "executor-modes",
-                    "pipeline-cache", "graphkit-kernels",
+                    "pipeline-cache", "sweep-session", "graphkit-kernels",
                     "graphkit-state-timing", "pareto-front")
 
 
