@@ -1,0 +1,80 @@
+"""Loop-carried pipelined scheduling: modulo-schedule cost and the II axis.
+
+The block-bounded benchmarks answer "how much area does slack budgeting
+recover at a fixed latency"; this file answers the pipelined questions the
+cyclic refactor added:
+
+* what does modulo scheduling *cost* in scheduler wall time relative to the
+  block scheduler on the same design (tracked by the perf gate), and
+* what does the II-vs-area frontier look like — shrinking the initiation
+  interval must buy throughput with FU area.
+"""
+
+from repro.flows import DesignPoint, SweepSession, conventional_flow, format_table
+from repro.workloads import fir_design
+from repro.workloads.factories import KernelPointFactory
+
+CLOCK = 1500.0
+LATENCY = 8
+TAPS = 12
+
+
+def test_modulo_scheduling_time(benchmark, library):
+    """Scheduler wall time of the pipelined conventional flow (perf gate)."""
+    design = fir_design(taps=TAPS, latency=LATENCY, clock_period=CLOCK)
+
+    def pipelined():
+        return conventional_flow(design, library, clock_period=CLOCK,
+                                 scheduling="pipeline")
+
+    flow = benchmark.pedantic(pipelined, rounds=3, iterations=1)
+    ii = flow.details["initiation_interval"]
+    assert flow.meets_timing
+    assert 1 <= ii < LATENCY  # the loop genuinely overlapped iterations
+    benchmark.extra_info["achieved_ii"] = ii
+    benchmark.extra_info["scheduling_s"] = round(
+        flow.scheduling_seconds, 6)
+
+    block = conventional_flow(design, library, clock_period=CLOCK)
+    print()
+    print(format_table(
+        ["scheduler", "II", "latency", "sched time (s)"],
+        [["block list", "-", f"{block.latency_steps}",
+          f"{block.scheduling_seconds:.4f}"],
+         ["modulo", f"{ii}", f"{flow.latency_steps}",
+          f"{flow.scheduling_seconds:.4f}"]],
+        title="Modulo vs block scheduling on the 12-tap FIR"))
+
+
+def test_ii_sweep_trades_area_for_throughput(benchmark, library):
+    """One pipelined point per candidate II: area must fall as II grows."""
+    factory = KernelPointFactory("fir", params=(("taps", TAPS),))
+    points = [DesignPoint(name=f"II{ii}", latency=LATENCY, pipeline_ii=ii,
+                          clock_period=CLOCK)
+              for ii in (1, 2, 4, 8)]
+
+    def sweep():
+        session = SweepSession(factory, library, scheduling="pipeline")
+        return session.run(points)
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    areas = []
+    for entry in result.entries:
+        flow = entry.slack_based
+        ii = flow.details["initiation_interval"]
+        areas.append((ii, flow.total_area))
+        rows.append([entry.point.name, f"{ii}",
+                     f"{flow.total_area:.0f}",
+                     "yes" if flow.meets_timing else "no"])
+    print()
+    print(format_table(["point", "achieved II", "A_slack", "timing met"],
+                       rows, title="II-vs-area axis on the 12-tap FIR"))
+
+    assert all(row[-1] == "yes" for row in rows)
+    # The frontier shape: more overlap (smaller II) costs FU area.
+    by_ii = sorted(areas)
+    assert by_ii[0][1] > by_ii[-1][1]
+    ordered = [area for _, area in by_ii]
+    assert ordered == sorted(ordered, reverse=True)

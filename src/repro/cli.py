@@ -48,6 +48,11 @@ def _build_sweep_parser() -> argparse.ArgumentParser:
     parser.add_argument("--latencies", default=None, metavar="LO:HI",
                         help="sweep a dense latency grid instead of the "
                              "paper's 15 Table-4 points")
+    parser.add_argument("--ii", default=None, metavar="LO:HI",
+                        help="pipeline the design (scheduling='pipeline') and "
+                             "sweep the initiation interval over [LO, HI]; "
+                             "uses the lowest --latencies value as the fixed "
+                             "latency (default 8)")
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="write the per-point metrics list as JSON")
     parser.add_argument("--stats", action="store_true",
@@ -58,6 +63,7 @@ def _build_sweep_parser() -> argparse.ArgumentParser:
 def _sweep_main(argv: Sequence[str]) -> int:
     from repro.errors import ReproError
     from repro.flows import (
+        DesignPoint,
         SweepSession,
         format_table,
         idct_design_points,
@@ -69,10 +75,12 @@ def _sweep_main(argv: Sequence[str]) -> int:
 
     args = _build_sweep_parser().parse_args(argv)
     try:
+        latency_lo = None
         if args.latencies:
             low, _, high = args.latencies.partition(":")
             try:
-                points = latency_grid(int(low), int(high or low),
+                latency_lo = int(low)
+                points = latency_grid(latency_lo, int(high or low),
                                       clock_period=args.clock)
             except ValueError:
                 print(f"repro sweep: --latencies expects LO:HI, got "
@@ -80,9 +88,30 @@ def _sweep_main(argv: Sequence[str]) -> int:
                 return 2
         else:
             points = idct_design_points(clock_period=args.clock)
+        scheduling = "block"
+        if args.ii:
+            low, _, high = args.ii.partition(":")
+            try:
+                ii_lo, ii_hi = int(low), int(high or low)
+            except ValueError:
+                print(f"repro sweep: --ii expects LO:HI, got {args.ii!r}",
+                      file=sys.stderr)
+                return 2
+            if ii_lo < 1 or ii_hi < ii_lo:
+                print(f"repro sweep: --ii expects LO:HI with 1 <= LO <= HI, "
+                      f"got {args.ii!r}", file=sys.stderr)
+                return 2
+            # The II sweep replaces the latency axis: one pipelined point
+            # per candidate interval at a fixed latency.
+            scheduling = "pipeline"
+            latency = latency_lo if latency_lo is not None else 8
+            points = [DesignPoint(name=f"II{ii}", latency=latency,
+                                  pipeline_ii=ii, clock_period=args.clock)
+                      for ii in range(ii_lo, ii_hi + 1)]
         session = SweepSession(IDCTPointFactory(rows=args.rows),
                                tsmc90_library(),
-                               margin_fraction=args.margin)
+                               margin_fraction=args.margin,
+                               scheduling=scheduling)
         result = session.run(points)
     except ReproError as exc:
         print(f"repro sweep: {exc}", file=sys.stderr)

@@ -89,7 +89,7 @@ def design_fingerprint(design) -> str:
         [(op.name, op.kind.value, op.width, op.operand_widths, op.birth_edge,
           op.fixed, op.value, sorted(op.attrs.items(), key=lambda kv: kv[0]))
          for op in dfg.operations],
-        [(edge.src, edge.dst, edge.dst_port, edge.backward)
+        [(edge.src, edge.dst, edge.dst_port, edge.backward, edge.distance)
          for edge in dfg.edges],
     ))
     digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -34,7 +34,7 @@ from repro.ir.design import Design
 from repro.ir.operations import Operation, OpKind
 from repro.lib.library import Library
 from repro.lib.resource import ResourceVariant
-from repro.core.delta_slack import DeltaSlackEvaluator
+from repro.core.delta_slack import CyclicSlackEvaluator, DeltaSlackEvaluator
 from repro.core.latency import LatencyAnalysis
 from repro.core.opspan import OperationSpans
 from repro.core.sequential_slack import TimingResult
@@ -318,8 +318,13 @@ def budget_slack(
     downgrades = 0
 
     graph = timed.compact()
-    evaluator = DeltaSlackEvaluator(graph, graph.delay_vector(state.delays),
-                                    clock_period, aligned=aligned)
+    # Cyclic (modulo-II) timed DFGs get the full-recompute evaluator: its
+    # interface is identical, so the loop body below is shared; the acyclic
+    # delta path stays bit-identical to the seed.
+    evaluator_class = (CyclicSlackEvaluator if getattr(timed, "cyclic", False)
+                       else DeltaSlackEvaluator)
+    evaluator = evaluator_class(graph, graph.delay_vector(state.delays),
+                                clock_period, aligned=aligned)
 
     # Hot-loop locals.  The evaluator mutates its arrival/required lists in
     # place (never rebinds them), so the references stay valid across
@@ -373,9 +378,12 @@ def budget_slack(
         iterations += 1
 
     # ---- step 4 of Fig. 7: distribute positive slack by slowing down ------------
+    # A still-diverged cyclic evaluator has no meaningful per-op slack to
+    # distribute: skip the downgrade loop and report the infeasible II.
+    skip_downgrades = bool(getattr(evaluator, "diverged", False))
     feasible_baseline = evaluator.worst_slack() >= -_EPS
     margin_eps = margin + _EPS
-    while iterations < iteration_budget:
+    while not skip_downgrades and iterations < iteration_budget:
         candidates: List[Tuple[float, float, str, ResourceVariant]] = []
         for name, variant in variants.items():
             if variant is None or name in pinned_set or name in frozen:

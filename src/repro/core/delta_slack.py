@@ -370,3 +370,169 @@ class DeltaSlackEvaluator:
         return timing_result_from_kernel(
             self.graph, self.arrival, self.required, self.delays,
             self.clock_period, self.aligned)
+
+
+class CyclicSlackEvaluator:
+    """Slack evaluator for *cyclic* (modulo-II) timed graphs.
+
+    Same interface as :class:`DeltaSlackEvaluator` — in-place ``arrival`` /
+    ``required`` lists, :meth:`set_delay`, trial journaling, the query
+    methods — so :func:`repro.core.budgeting.budget_slack` runs its loop
+    body unchanged on cyclic graphs.  Two deliberate differences:
+
+    * every :meth:`set_delay` is a **full** Bellman-Ford recomputation (the
+      dirty-region argument of the delta evaluator needs a topological
+      order, which a cyclic graph does not have);
+    * an II below the recurrence minimum does not raise: the evaluator marks
+      itself *diverged*, reports ``-inf`` worst slack, and lists the nodes
+      still improving after the pass budget as the critical/violating set —
+      exactly the operations whose upgrade can shrink the recurrence, so
+      budgeting's step-3 repair loop steers toward a feasible fixpoint
+      instead of aborting.
+    """
+
+    __slots__ = (
+        "graph", "clock_period", "aligned",
+        "delays", "arrival", "required",
+        "diverged", "_improving", "_snapshot", "_worst",
+        "updates", "fallbacks",
+    )
+
+    def __init__(self, graph: CompactTimedGraph, delays: List[float],
+                 clock_period: float, aligned: bool = True):
+        self.graph = graph
+        self.clock_period = clock_period
+        self.aligned = aligned
+        self.delays = list(delays)
+        self.arrival = [0.0] * graph.num_nodes
+        self.required = [0.0] * graph.num_nodes
+        self.diverged = False
+        self._improving: frozenset = frozenset()
+        self._snapshot: Optional[tuple] = None
+        self._worst: Optional[float] = None
+        self.updates = 0
+        self.fallbacks = 0
+        self._recompute()
+
+    # -- mutation ---------------------------------------------------------------
+
+    def index_of(self, name: str) -> int:
+        return self.graph.index[name]
+
+    def set_delay(self, node: int, new_delay: float) -> None:
+        if new_delay == self.delays[node]:
+            return
+        self.updates += 1
+        self.delays[node] = new_delay
+        self._recompute()
+
+    def _recompute(self) -> None:
+        from repro.core.graphkit import (
+            cyclic_arrival_passes,
+            cyclic_required_passes,
+        )
+
+        arrival, improving_arrival = cyclic_arrival_passes(
+            self.graph, self.delays, self.clock_period, aligned=self.aligned)
+        required, improving_required = cyclic_required_passes(
+            self.graph, self.delays, self.clock_period, aligned=self.aligned)
+        # Slice-assign: budgeting holds direct references to these lists.
+        self.arrival[:] = arrival
+        self.required[:] = required
+        self._improving = improving_arrival | improving_required
+        self.diverged = bool(self._improving)
+        self._worst = None
+
+    # -- trials -----------------------------------------------------------------
+
+    def begin_trial(self) -> None:
+        if self._snapshot is not None:
+            raise RuntimeError("a slack trial is already open")
+        self._snapshot = (list(self.delays), list(self.arrival),
+                          list(self.required), self.diverged,
+                          self._improving, self._worst)
+
+    def commit(self) -> None:
+        if self._snapshot is None:
+            raise RuntimeError("no slack trial to commit")
+        self._snapshot = None
+
+    def rollback(self) -> None:
+        snapshot = self._snapshot
+        if snapshot is None:
+            raise RuntimeError("no slack trial to roll back")
+        self._snapshot = None
+        delays, arrival, required, diverged, improving, worst = snapshot
+        self.delays[:] = delays
+        self.arrival[:] = arrival
+        self.required[:] = required
+        self.diverged = diverged
+        self._improving = improving
+        self._worst = worst
+
+    # -- queries ----------------------------------------------------------------
+
+    def worst_slack(self) -> float:
+        if self.diverged:
+            return _NEG_INF
+        worst = self._worst
+        if worst is None:
+            arrival = self.arrival
+            required = self.required
+            worst = _POS_INF
+            for index in self.graph.op_indices:
+                slack = required[index] - arrival[index]
+                if slack < worst:
+                    worst = slack
+            self._worst = worst
+        return worst
+
+    def slack_of(self, name: str) -> float:
+        index = self.graph.index[name]
+        if self.diverged and index in self._improving:
+            return _NEG_INF
+        return self.required[index] - self.arrival[index]
+
+    def _improving_op_names(self) -> List[str]:
+        names = self.graph.names
+        improving = self._improving
+        return [names[index] for index in self.graph.op_indices
+                if index in improving]
+
+    def critical_operations(self, margin: float = 0.0) -> List[str]:
+        if self.diverged:
+            return self._improving_op_names()
+        names = self.graph.names
+        arrival = self.arrival
+        required = self.required
+        threshold = self.worst_slack() + abs(margin) + _EPS
+        return [names[index] for index in self.graph.op_indices
+                if required[index] - arrival[index] <= threshold]
+
+    def violating_operations(self, threshold: float = -_EPS) -> List[str]:
+        names = self.graph.names
+        arrival = self.arrival
+        required = self.required
+        improving = self._improving if self.diverged else frozenset()
+        return [names[index] for index in self.graph.op_indices
+                if index in improving
+                or required[index] - arrival[index] < threshold]
+
+    def export(self) -> TimingResult:
+        """Operation-keyed timing; divergence exports as ``-inf`` slack.
+
+        A diverged fixpoint has no consistent arrival/required values on the
+        improving nodes, so their slack is pinned to ``-inf`` — downstream
+        feasibility checks (``worst_slack() >= -eps``) then classify the II
+        as infeasible without special-casing.
+        """
+        result = timing_result_from_kernel(
+            self.graph, self.arrival, self.required, self.delays,
+            self.clock_period, self.aligned)
+        if self.diverged:
+            names = self.graph.names
+            for index in self._improving:
+                name = names[index]
+                if name in result.slack:
+                    result.slack[name] = _NEG_INF
+        return result

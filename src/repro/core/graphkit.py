@@ -79,7 +79,7 @@ class CompactTimedGraph:
     """
 
     __slots__ = (
-        "names", "index", "num_nodes", "num_edges",
+        "names", "index", "num_nodes", "num_edges", "cyclic",
         "succ_indptr", "succ_dst", "succ_weight",
         "pred_indptr", "pred_src", "pred_weight",
         "op_indices",
@@ -92,6 +92,7 @@ class CompactTimedGraph:
         names: Sequence[str],
         edges: Sequence[Tuple[int, int, int]],
         op_indices: Optional[Sequence[int]] = None,
+        cyclic: bool = False,
     ):
         self.names: Tuple[str, ...] = tuple(names)
         self.index: Dict[str, int] = {
@@ -102,13 +103,14 @@ class CompactTimedGraph:
         n = len(self.names)
         self.num_nodes = n
         self.num_edges = len(edges)
+        self.cyclic = bool(cyclic)
 
         succ_counts = [0] * (n + 1)
         pred_counts = [0] * (n + 1)
         for src, dst, weight in edges:
             if not (0 <= src < n and 0 <= dst < n):
                 raise TimingError("compact graph edge references unknown node")
-            if weight < 0:
+            if weight < 0 and not self.cyclic:
                 raise TimingError(
                     "timed-DFG edge weights are state counts and must be >= 0")
             succ_counts[src + 1] += 1
@@ -168,7 +170,8 @@ class CompactTimedGraph:
         edges = [(index[src], index[dst], weight)
                  for src, dst, weight in timed.edge_triples()]
         op_indices = [index[name] for name in timed.operation_nodes]
-        return cls(names, edges, op_indices=op_indices)
+        return cls(names, edges, op_indices=op_indices,
+                   cyclic=getattr(timed, "cyclic", False))
 
     # -- cached derived structures ---------------------------------------------------
 
@@ -446,6 +449,183 @@ def bellman_ford_required_kernel(
                 changed = True
         if not changed:
             break
+    return required
+
+
+# -- cyclic (modulo-II) kernels ------------------------------------------------------
+#
+# The cyclic kernels are NEW entry points, not modifications: the acyclic
+# kernels above are bit-identity-pinned against their ``*_reference``
+# implementations and never see a cyclic graph.  On a cyclic timed DFG
+# (loop-carried edges kept, weights possibly negative) arrival/required are
+# fixpoints of the same per-edge relaxation, with two init differences:
+#
+# * every node starts at arrival 0.0 — the base constraint ``Arr(v) >= 0``
+#   (a node on a carried cycle has predecessors, so the acyclic
+#   no-preds-means-source init would strand entire cycles at -inf);
+# * non-convergence is an *infeasibility verdict*, not a malformed graph: a
+#   relaxation that keeps improving after |V| passes sits on a cycle whose
+#   total time gain is positive, i.e. the recurrence cannot be sustained at
+#   this II.  RecMII probing catches the resulting :class:`TimingError`.
+
+
+def cyclic_arrival_passes(
+    graph: CompactTimedGraph,
+    delays: Sequence[float],
+    clock_period: float,
+    aligned: bool = False,
+    max_passes: int = 0,
+) -> Tuple[List[float], frozenset]:
+    """Run the cyclic arrival relaxation; report non-convergence, don't raise.
+
+    Returns ``(arrival, improving)`` where ``improving`` is the (possibly
+    empty) frozenset of node indices whose arrival a verification sweep could
+    still raise after the pass budget — the nodes sitting on or downstream
+    of the violated recurrence.  An empty set means the vector is the exact
+    fixpoint.  The budgeting evaluator uses the non-empty case to steer
+    upgrades at the infeasible II instead of aborting.
+    """
+    if clock_period <= 0:
+        raise TimingError("clock period must be positive")
+    edges = graph.bf_edge_order()
+    passes_bound = max_passes if max_passes > 0 else max(graph.num_nodes, 1)
+    arrival = [0.0] * graph.num_nodes
+    floor = math.floor
+    align_eps = ALIGN_EPS
+    converged = False
+    for _ in range(passes_bound):
+        changed = False
+        for src, dst, weight in edges:
+            start = arrival[src]
+            delay = delays[src]
+            if aligned and delay > align_eps and delay <= clock_period + align_eps:
+                cycle = floor(start / clock_period + align_eps)
+                offset = start - cycle * clock_period
+                if offset + delay > clock_period + align_eps:
+                    start = (cycle + 1) * clock_period
+            candidate = start + delay - clock_period * weight
+            if candidate > arrival[dst] + BF_EPS:
+                arrival[dst] = candidate
+                changed = True
+        if not changed:
+            converged = True
+            break
+    improving: set = set()
+    if not converged:
+        for src, dst, weight in edges:
+            start = arrival[src]
+            delay = delays[src]
+            if aligned and delay > align_eps and delay <= clock_period + align_eps:
+                cycle = floor(start / clock_period + align_eps)
+                offset = start - cycle * clock_period
+                if offset + delay > clock_period + align_eps:
+                    start = (cycle + 1) * clock_period
+            if start + delay - clock_period * weight > arrival[dst] + 1e-6:
+                improving.add(dst)
+    return arrival, frozenset(improving)
+
+
+def cyclic_required_passes(
+    graph: CompactTimedGraph,
+    delays: Sequence[float],
+    clock_period: float,
+    aligned: bool = False,
+    max_passes: int = 0,
+) -> Tuple[List[float], frozenset]:
+    """Cyclic required-time relaxation; mirror of :func:`cyclic_arrival_passes`.
+
+    Minimizing Bellman-Ford seeded at successor-less nodes (the sinks) with
+    ``T - delay``; ``improving`` holds the source indices a verification
+    sweep could still lower.
+    """
+    if clock_period <= 0:
+        raise TimingError("clock period must be positive")
+    edges = graph.bf_edge_order()
+    passes_bound = max_passes if max_passes > 0 else max(graph.num_nodes, 1)
+    indptr = graph.succ_indptr
+    required = [clock_period - delays[node]
+                if indptr[node] == indptr[node + 1] else _POS_INF
+                for node in range(graph.num_nodes)]
+    floor = math.floor
+    align_eps = ALIGN_EPS
+    converged = False
+    for _ in range(passes_bound):
+        changed = False
+        for src, dst, weight in edges:
+            dst_value = required[dst]
+            if dst_value == _POS_INF:
+                continue
+            delay = delays[src]
+            candidate = dst_value - delay + clock_period * weight
+            if aligned and delay > align_eps and delay <= clock_period + align_eps:
+                cycle = floor(candidate / clock_period + align_eps)
+                offset = candidate - cycle * clock_period
+                if offset + delay > clock_period + align_eps:
+                    candidate = (cycle + 1) * clock_period - delay
+            if candidate < required[src] - BF_EPS:
+                required[src] = candidate
+                changed = True
+        if not changed:
+            converged = True
+            break
+    improving: set = set()
+    if not converged:
+        for src, dst, weight in edges:
+            dst_value = required[dst]
+            if dst_value == _POS_INF:
+                continue
+            delay = delays[src]
+            candidate = dst_value - delay + clock_period * weight
+            if aligned and delay > align_eps and delay <= clock_period + align_eps:
+                cycle = floor(candidate / clock_period + align_eps)
+                offset = candidate - cycle * clock_period
+                if offset + delay > clock_period + align_eps:
+                    candidate = (cycle + 1) * clock_period - delay
+            if candidate < required[src] - 1e-6:
+                improving.add(src)
+    return required, frozenset(improving)
+
+
+_RECMII_MESSAGE = ("cyclic constraint graph did not converge — the initiation "
+                   "interval is below the recurrence minimum (RecMII)")
+
+
+def cyclic_arrival_kernel(
+    graph: CompactTimedGraph,
+    delays: Sequence[float],
+    clock_period: float,
+    aligned: bool = False,
+    max_passes: int = 0,
+) -> List[float]:
+    """Modulo-II arrival times on a cyclic constraint graph, by index.
+
+    Bellman-Ford maximization from the all-zeros base (``Arr(v) >= 0`` for
+    every node).  Raises :class:`TimingError` when the recurrence constraints
+    admit no fixpoint at this II (positive-gain cycle).
+    """
+    arrival, improving = cyclic_arrival_passes(
+        graph, delays, clock_period, aligned=aligned, max_passes=max_passes)
+    if improving:
+        raise TimingError(_RECMII_MESSAGE)
+    return arrival
+
+
+def cyclic_required_kernel(
+    graph: CompactTimedGraph,
+    delays: Sequence[float],
+    clock_period: float,
+    aligned: bool = False,
+    max_passes: int = 0,
+) -> List[float]:
+    """Modulo-II required times on a cyclic constraint graph, by index.
+
+    Raises the same RecMII :class:`TimingError` as
+    :func:`cyclic_arrival_kernel` on a fixpoint failure.
+    """
+    required, improving = cyclic_required_passes(
+        graph, delays, clock_period, aligned=aligned, max_passes=max_passes)
+    if improving:
+        raise TimingError(_RECMII_MESSAGE)
     return required
 
 

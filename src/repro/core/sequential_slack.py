@@ -266,12 +266,32 @@ def compute_sequential_slack(
     :func:`compute_sequential_slack_reference`, including the key order of
     the result dicts (operation insertion order), which downstream
     tie-breaks observe.
+
+    A *cyclic* timed DFG (``timed.cyclic``, built by
+    :func:`repro.core.timed_dfg.build_cyclic_timed_dfg` at a concrete II)
+    dispatches to the Bellman-Ford cyclic kernels instead: arrival/required
+    are then modulo-II fixpoints, and an II below the recurrence minimum
+    raises :class:`TimingError` (non-convergence).  The acyclic path is
+    untouched by this seam.
     """
-    from repro.core.graphkit import arrival_kernel, required_kernel
+    from repro.core.graphkit import (
+        arrival_kernel,
+        cyclic_arrival_kernel,
+        cyclic_required_kernel,
+        required_kernel,
+    )
 
     graph = timed.compact()
     delay_vec = graph.delay_vector(delays)
-    arrival = arrival_kernel(graph, delay_vec, clock_period, aligned=aligned)
-    required = required_kernel(graph, delay_vec, clock_period, aligned=aligned)
+    if getattr(timed, "cyclic", False):
+        arrival = cyclic_arrival_kernel(graph, delay_vec, clock_period,
+                                        aligned=aligned)
+        required = cyclic_required_kernel(graph, delay_vec, clock_period,
+                                          aligned=aligned)
+    else:
+        arrival = arrival_kernel(graph, delay_vec, clock_period,
+                                 aligned=aligned)
+        required = required_kernel(graph, delay_vec, clock_period,
+                                   aligned=aligned)
     return timing_result_from_kernel(graph, arrival, required, delay_vec,
                                      clock_period, aligned)

@@ -54,10 +54,21 @@ class TimedEdge:
 
 
 class TimedDFG:
-    """An acyclic, latency-weighted view of a DFG."""
+    """A latency-weighted view of a DFG.
 
-    def __init__(self, name: str = "timed_dfg"):
+    The default (block-bounded) construction is acyclic: backward data edges
+    are dropped and every weight is a nonnegative state count.  A *cyclic*
+    timed DFG (``cyclic=True``, built by :func:`build_cyclic_timed_dfg`)
+    additionally keeps loop-carried edges, whose weights are
+    ``distance * II`` state counts adjusted by the intra-iteration offset of
+    the endpoints and may therefore be negative.  The flag is the explicit
+    seam every consumer dispatches on: acyclic graphs keep running the
+    topological kernels bit-identically, cyclic graphs go to Bellman-Ford.
+    """
+
+    def __init__(self, name: str = "timed_dfg", cyclic: bool = False):
         self.name = name
+        self.cyclic = bool(cyclic)
         self._nodes: List[str] = []
         self._node_index: Dict[str, int] = {}
         self._edge_src: List[str] = []
@@ -91,7 +102,7 @@ class TimedDFG:
         for endpoint in (src, dst):
             if endpoint not in node_index:
                 raise TimingError(f"timed-DFG edge references unknown node {endpoint!r}")
-        if weight < 0:
+        if weight < 0 and not self.cyclic:
             raise TimingError("timed-DFG edge weights are state counts and must be >= 0")
         self._edge_src.append(src)
         self._edge_dst.append(dst)
@@ -230,4 +241,75 @@ def build_timed_dfg(
                     f"operation {name!r} has a late edge unreachable from its early edge"
                 )
             timed.add_edge(name, sink, weight)
+    return timed
+
+
+def carried_edge_weight(
+    src_early: str,
+    dst_early: str,
+    distance: int,
+    ii: int,
+    latency: LatencyAnalysis,
+) -> int:
+    """State count separating a carried dependence's endpoints at interval ``ii``.
+
+    The consumer instance runs ``distance`` iterations — ``distance * ii``
+    states — after the producer instance, adjusted by the intra-iteration
+    offset between the endpoints' early edges.  A negative result means the
+    consumer's control step comes *before* the producer's within the modulo
+    schedule; the Bellman-Ford kernels handle that (the whole point of the
+    cyclic path), the topological ones cannot.
+    """
+    offset = latency.latency(src_early, dst_early)
+    if offset is None:
+        reverse = latency.latency(dst_early, src_early)
+        if reverse is None:
+            raise TimingError(
+                f"carried edge endpoints on unrelated edges "
+                f"({src_early!r}, {dst_early!r})")
+        offset = -reverse
+    return int(distance) * int(ii) + int(offset)
+
+
+def build_cyclic_timed_dfg(
+    design: Design,
+    ii: int,
+    spans: Optional[OperationSpans] = None,
+    latency: Optional[LatencyAnalysis] = None,
+    include_sinks: bool = True,
+) -> TimedDFG:
+    """Construct the *cyclic* timed DFG of ``design`` at initiation interval ``ii``.
+
+    Same construction as :func:`build_timed_dfg` — same nodes, same forward
+    edges with identical weights, same sinks — plus one edge per loop-carried
+    (backward) data dependence, weighted
+    :func:`carried_edge_weight` states.  Arrival/required/slack over the
+    result are defined *modulo II*: the recurrence constraint
+    ``Arr(dst) >= Arr(src) + delay(src) - T * weight`` with
+    ``weight = distance * II + intra_offset`` is exactly the paper-standard
+    ``delay - distance * II`` cyclic edge-weight model expressed in state
+    counts.  An infeasible II (a recurrence whose cycle gains time every trip)
+    surfaces as Bellman-Ford non-convergence — a :class:`TimingError` from
+    the cyclic kernels, which is how RecMII probing works.
+    """
+    if ii < 1:
+        raise TimingError(f"initiation interval must be >= 1, got {ii}")
+    latency = latency or LatencyAnalysis(design.cfg)
+    spans = spans or OperationSpans(design, latency=latency)
+    acyclic = build_timed_dfg(design, spans=spans, latency=latency,
+                              include_sinks=include_sinks)
+
+    timed = TimedDFG(f"{design.name}.timed_ii{ii}", cyclic=True)
+    for node in acyclic.nodes:
+        timed.add_node(node)
+    for src, dst, weight in acyclic.edge_triples():
+        timed.add_edge(src, dst, weight)
+
+    for edge in design.dfg.backward_edges:
+        if not (timed.has_node(edge.src) and timed.has_node(edge.dst)):
+            continue
+        weight = carried_edge_weight(
+            spans.early(edge.src), spans.early(edge.dst),
+            edge.distance, ii, latency)
+        timed.add_edge(edge.src, edge.dst, weight)
     return timed

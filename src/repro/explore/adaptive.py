@@ -113,6 +113,9 @@ class ExplorationResult:
     mode: str  # "adaptive" | "dense"
     objectives: Tuple[str, ...]
     flow: str
+    #: The swept parameter: "latency" (the Table-4 axis) or "ii" (the
+    #: II-vs-area frontier at a fixed latency).  ``curve`` is keyed by it.
+    axis: str = "latency"
     curve: Dict[int, Mapping[str, object]] = field(default_factory=dict)
     points: List[FrontPoint] = field(default_factory=list)
     front: List[FrontPoint] = field(default_factory=list)
@@ -188,6 +191,17 @@ class AdaptiveExplorer:
     engine_kwargs:
         Extra :class:`DSEEngine` arguments (executor, max_workers,
         progress, ...).
+    ii_values:
+        Switches the swept axis from latency to the initiation interval:
+        one pipelined design point per candidate II, all at the single
+        fixed latency given by ``latencies``.  Pair it with
+        ``objectives=("initiation_interval", "area")`` to recover the
+        II-vs-area frontier.  Refinement (bisection, descent/convexity
+        rules) applies to the II domain exactly as it does to latencies.
+    scheduling:
+        ``"block"`` or ``"pipeline"`` — forwarded to the flows (see
+        :class:`repro.flows.sweep.SweepSession`).  Defaults to
+        ``"pipeline"`` for an II sweep and ``"block"`` otherwise.
     """
 
     def __init__(
@@ -207,10 +221,37 @@ class AdaptiveExplorer:
         evaluate_batch: Optional[Callable[[List[DesignPoint]],
                                           List[Mapping[str, object]]]] = None,
         engine_kwargs: Optional[Dict[str, object]] = None,
+        ii_values: Optional[Sequence[int]] = None,
+        scheduling: Optional[str] = None,
     ):
-        domain = sorted(set(int(latency) for latency in latencies))
-        if not domain:
-            raise ReproError("an exploration needs at least one candidate latency")
+        if ii_values is not None:
+            # II axis: sweep the initiation interval at one fixed latency
+            # (the II-vs-area frontier); points go through the pipelined
+            # (modulo-scheduled) flows unless the caller overrides the mode.
+            domain = sorted(set(int(value) for value in ii_values))
+            if not domain:
+                raise ReproError("an II sweep needs at least one candidate II")
+            if domain[0] < 1:
+                raise ReproError("initiation intervals must be >= 1")
+            fixed = sorted(set(int(latency) for latency in latencies))
+            if len(fixed) != 1:
+                raise ReproError(
+                    "an II sweep explores one fixed latency; pass exactly "
+                    f"one latency (got {fixed or 'none'})")
+            self.axis = "ii"
+            self.fixed_latency = fixed[0]
+            scheduling = scheduling or "pipeline"
+        else:
+            domain = sorted(set(int(latency) for latency in latencies))
+            if not domain:
+                raise ReproError("an exploration needs at least one candidate latency")
+            self.axis = "latency"
+            self.fixed_latency = None
+            scheduling = scheduling or "block"
+        if scheduling not in ("block", "pipeline"):
+            raise ReproError(f"unknown scheduling mode {scheduling!r} "
+                             "(expected 'block' or 'pipeline')")
+        self.scheduling = scheduling
         # Validate the objective selection up front: a typo must fail here,
         # not after the full sweep cost has been paid.
         for name in tuple(objectives) + (guide_objective,):
@@ -253,11 +294,18 @@ class AdaptiveExplorer:
 
     # -- evaluation --------------------------------------------------------------
 
-    def _point_for(self, latency: int) -> DesignPoint:
+    def _point_for(self, value: int) -> DesignPoint:
+        if self.axis == "ii":
+            return DesignPoint(
+                name=f"{self.workload}_L{self.fixed_latency}_ii{value}",
+                latency=self.fixed_latency,
+                pipeline_ii=value,
+                clock_period=self.clock_period,
+            )
         suffix = f"_ii{self.pipeline_ii}" if self.pipeline_ii else ""
         return DesignPoint(
-            name=f"{self.workload}_L{latency}{suffix}",
-            latency=latency,
+            name=f"{self.workload}_L{value}{suffix}",
+            latency=value,
             pipeline_ii=self.pipeline_ii,
             clock_period=self.clock_period,
         )
@@ -277,7 +325,7 @@ class AdaptiveExplorer:
                 continue
             point = self._point_for(latency)
             key = key_for(self.design_factory(point), point,
-                          self.margin_fraction)
+                          self.margin_fraction, scheduling=self.scheduling)
             if key in self._by_key:
                 self._curve[latency] = self._by_key[key]
                 self._deduplicated += 1
@@ -316,11 +364,13 @@ class AdaptiveExplorer:
                                  "mismatching its input points")
         else:
             engine_kwargs = dict(self.engine_kwargs)
+            engine_kwargs.setdefault("scheduling", self.scheduling)
             if "session" not in engine_kwargs:
                 if self._session is None:
                     self._session = SweepSession(
                         self.design_factory, self.library,
-                        margin_fraction=self.margin_fraction)
+                        margin_fraction=self.margin_fraction,
+                        scheduling=self.scheduling)
                 engine_kwargs["session"] = self._session
             engine = DSEEngine(self.design_factory, self.library, points,
                                margin_fraction=self.margin_fraction,
@@ -405,6 +455,7 @@ class AdaptiveExplorer:
             mode=mode,
             objectives=self.objectives,
             flow=self.flow,
+            axis=self.axis,
             curve=dict(sorted(self._curve.items())),
             points=points,
             front=pareto_front(points),

@@ -43,6 +43,7 @@ OBJECTIVE_SENSES: Dict[str, str] = {
     "registers": "min",
     "fu_instances": "min",
     "runtime_s": "min",
+    "initiation_interval": "min",
     "throughput": "max",
     "saving_percent": "max",
 }
@@ -50,6 +51,12 @@ OBJECTIVE_SENSES: Dict[str, str] = {
 #: Objectives read from the top level of a metrics record instead of from a
 #: flow sub-dict.
 _TOP_LEVEL_OBJECTIVES = ("saving_percent",)
+
+#: Objectives read from the ``point`` sub-dict of a metrics record.
+#: ``initiation_interval`` is the point's states-between-kernel-starts:
+#: ``pipeline_ii`` when pipelined, the latency otherwise — the II axis of
+#: the II-vs-area frontier.
+_POINT_OBJECTIVES = ("initiation_interval",)
 
 #: An epsilon specification: a plain float is an additive slack in objective
 #: units; a ``("rel", fraction)`` pair scales with the covered point's value.
@@ -97,7 +104,16 @@ def objective_vector(
             raise ReproError(
                 f"unknown objective {name!r}; registered objectives: "
                 f"{sorted(OBJECTIVE_SENSES)}")
-        if name in _TOP_LEVEL_OBJECTIVES:
+        if name in _POINT_OBJECTIVES:
+            point_info = metrics.get("point")
+            if not isinstance(point_info, Mapping):
+                raise ReproError(
+                    f"metrics record has no 'point' sub-dict for objective "
+                    f"{name!r} (keys: {sorted(metrics)})")
+            raw = point_info.get("pipeline_ii")
+            if raw is None:
+                raw = point_info.get("latency")
+        elif name in _TOP_LEVEL_OBJECTIVES:
             raw = metrics.get(name)
         else:
             if not isinstance(flow_metrics, Mapping):

@@ -71,16 +71,25 @@ class StoreKey:
         )
 
 
-def key_for(design, point, margin_fraction: float) -> StoreKey:
+def key_for(design, point, margin_fraction: float,
+            scheduling: str = "block") -> StoreKey:
     """The :class:`StoreKey` of evaluating ``design`` at ``point``.
 
     ``design`` is the factory-built design of the point; its structural
     fingerprint plus the point's clock period / pipeline II and the sweep's
     margin fraction pin down both flows' outputs exactly (the flows are
     deterministic, which the golden Table-4 benchmark guards).
+
+    A non-default ``scheduling`` mode (``"pipeline"``: the modulo-scheduled
+    flows) changes both flows' outputs for the same structure and knobs, so
+    it is folded into the fingerprint — block-mode keys written before the
+    knob existed stay valid, and the two modes never share a record.
     """
+    fingerprint = design_fingerprint(design)
+    if scheduling != "block":
+        fingerprint = f"{fingerprint}|scheduling={scheduling}"
     return StoreKey(
-        fingerprint=design_fingerprint(design),
+        fingerprint=fingerprint,
         clock_period=float(point.clock_period),
         pipeline_ii=point.pipeline_ii,
         margin_fraction=float(margin_fraction),

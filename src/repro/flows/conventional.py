@@ -24,8 +24,19 @@ from repro.lib.library import Library
 from repro.lib.resource import ResourceVariant
 from repro.flows.pipeline import PointArtifacts, finalize_flow
 from repro.flows.result import FlowResult
+from repro.sched.modulo_scheduler import compute_mii, try_modulo_schedule
 from repro.sched.priorities import mobility_priority
 from repro.sched.relaxation import schedule_with_relaxation
+
+
+def _fastest_variants(design: Design, library: Library) -> Dict[str, Optional[ResourceVariant]]:
+    variants: Dict[str, Optional[ResourceVariant]] = {}
+    for op in design.dfg.operations:
+        if op.kind is OpKind.CONST:
+            continue
+        variants[op.name] = (library.fastest_variant(op)
+                             if op.is_synthesizable else None)
+    return variants
 
 
 def conventional_flow(
@@ -38,16 +49,27 @@ def conventional_flow(
     area_recovery: bool = True,
     register_margin: float = 0.0,
     artifacts: Optional[PointArtifacts] = None,
+    scheduling: str = "block",
 ) -> FlowResult:
     """Run the conventional flow on ``design`` and return a :class:`FlowResult`.
 
     ``artifacts`` supplies precomputed per-point analyses (see
     :class:`repro.flows.pipeline.PointArtifacts`) so that sweeps running both
     flows on the same design pay for latency/span analysis only once.
+
+    ``scheduling`` selects the engine: ``"block"`` (default) is the classic
+    block-bounded list scheduler; ``"pipeline"`` modulo-schedules the loop at
+    a concrete initiation interval — ``pipeline_ii`` when given, otherwise
+    the computed MII (fastest-grade lower bound) — and lets the relaxation
+    loop bump the II when the recurrences do not fit.  The achieved II lands
+    in ``details["initiation_interval"]``.
     """
     clock_period = clock_period or design.clock_period
     if clock_period is None:
         raise ReproError("a clock period is required (argument or design attribute)")
+    if scheduling not in ("block", "pipeline"):
+        raise ReproError(f"unknown scheduling mode {scheduling!r} "
+                         f"(expected 'block' or 'pipeline')")
     pipeline_ii = pipeline_ii if pipeline_ii is not None else design.pipeline_ii
 
     start_time = time.perf_counter()
@@ -67,6 +89,16 @@ def conventional_flow(
         else:
             variants[op.name] = library.fastest_variant(op)
 
+    scheduler = None
+    mii = None
+    if scheduling == "pipeline":
+        scheduler = try_modulo_schedule
+        mii = compute_mii(design, library, clock_period,
+                          variant_map=_fastest_variants(design, library),
+                          spans=spans, latency=latency)
+        if pipeline_ii is None:
+            pipeline_ii = mii.mii
+
     scheduling_start = time.perf_counter()
     schedule, allocation, final_variants, relax_log = schedule_with_relaxation(
         design, library, clock_period, variants,
@@ -74,6 +106,7 @@ def conventional_flow(
         priority=mobility_priority(spans),
         pipeline_ii=pipeline_ii,
         timing_margin=timing_margin,
+        scheduler=scheduler,
     )
     scheduling_seconds = time.perf_counter() - scheduling_start
 
@@ -83,6 +116,12 @@ def conventional_flow(
         "resources_added": list(relax_log.resources_added),
         "grade_upgrades": list(relax_log.upgrades),
     }
+    if scheduling == "pipeline":
+        pipeline_ii = relax_log.final_ii or pipeline_ii
+        details["initiation_interval"] = pipeline_ii
+        details["ii_bumps"] = list(relax_log.ii_bumps)
+        details["res_mii"] = mii.res_mii
+        details["rec_mii"] = mii.rec_mii
     return finalize_flow(
         flow="conventional" if initial_grades == "fastest" else "slowest-first",
         design=design,

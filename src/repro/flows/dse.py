@@ -9,7 +9,6 @@ runs both flows and collects areas, powers, throughputs and run times.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -202,6 +201,7 @@ def evaluate_point(
     point: DesignPoint,
     margin_fraction: float = 0.05,
     use_cache: bool = True,
+    scheduling: str = "block",
 ) -> DSEEntry:
     """Run both flows on one design point and return its :class:`DSEEntry`.
 
@@ -225,12 +225,16 @@ def evaluate_point(
     should hold a session (or use :func:`run_dse` /
     :class:`repro.flows.engine.DSEEngine`, which do) so cross-point sharing
     actually amortizes.
+
+    ``scheduling`` is forwarded to both flows (``"block"`` or
+    ``"pipeline"`` — see :class:`repro.flows.sweep.SweepSession`).
     """
     from repro.flows.sweep import SweepSession
 
     session = SweepSession(design_factory, library,
                            margin_fraction=margin_fraction,
-                           use_cache=use_cache)
+                           use_cache=use_cache,
+                           scheduling=scheduling)
     return session.evaluate(point)
 
 
@@ -238,8 +242,8 @@ def run_dse(
     design_factory: Callable[[DesignPoint], Design],
     library: Library,
     points: Sequence[DesignPoint],
-    flows: Optional[Sequence[str]] = None,
     margin_fraction: float = 0.05,
+    scheduling: str = "block",
 ) -> DSEResult:
     """Run the conventional and slack-based flows over all ``points``.
 
@@ -252,21 +256,12 @@ def run_dse(
     entries in the input order; per-point metrics are identical to the old
     point-at-a-time loop.
 
-    .. deprecated::
-        The ``flows`` selector never selected anything — both flows were
-        always required — and is slated for removal; the session API always
-        runs both.  Passing it explicitly raises a ``DeprecationWarning``.
+    ``scheduling`` is forwarded to the session (``"block"`` or
+    ``"pipeline"`` — see :class:`repro.flows.sweep.SweepSession`).
     """
-    if flows is not None:
-        warnings.warn(
-            "run_dse(flows=...) is deprecated and slated for removal: the "
-            "sweep always runs both flows (SweepSession compares them)",
-            DeprecationWarning, stacklevel=2)
-        if "conventional" not in flows or "slack" not in flows:
-            raise ReproError("the DSE harness compares the conventional and "
-                             "slack flows; both must be enabled")
     from repro.flows.sweep import SweepSession
 
     session = SweepSession(design_factory, library,
-                           margin_fraction=margin_fraction)
+                           margin_fraction=margin_fraction,
+                           scheduling=scheduling)
     return session.run(points)

@@ -133,12 +133,14 @@ class EngineResult:
 
 def _evaluate_payload(payload):
     """Process-pool entry point: evaluate one design point, never raise."""
-    index, factory, library, point, margin_fraction, use_cache = payload
+    index, factory, library, point, margin_fraction, use_cache, scheduling \
+        = payload
     start = time.perf_counter()
     try:
         entry = evaluate_point(factory, library, point,
                                margin_fraction=margin_fraction,
-                               use_cache=use_cache)
+                               use_cache=use_cache,
+                               scheduling=scheduling)
         return (index, "ok", entry, None, None, time.perf_counter() - start)
     except Exception as exc:  # noqa: BLE001 — per-point isolation is the point
         return (index, "error", None, f"{type(exc).__name__}: {exc}",
@@ -229,9 +231,13 @@ class DSEEngine:
         progress: Optional[Callable[[ProgressEvent], None]] = None,
         use_analysis_cache: bool = True,
         session: Optional[SweepSession] = None,
+        scheduling: str = "block",
     ):
         if executor not in ("auto", "process", "thread", "serial"):
             raise ReproError(f"unknown executor {executor!r}")
+        if scheduling not in ("block", "pipeline"):
+            raise ReproError(f"unknown scheduling mode {scheduling!r} "
+                             "(expected 'block' or 'pipeline')")
         names = [point.name for point in points]
         if len(set(names)) != len(names):
             raise ReproError("design point names must be unique within a sweep")
@@ -246,6 +252,7 @@ class DSEEngine:
         self.progress = progress
         self.use_analysis_cache = use_analysis_cache
         self.session = session
+        self.scheduling = scheduling
 
     # -- checkpointing -----------------------------------------------------------
 
@@ -287,7 +294,7 @@ class DSEEngine:
         library_id = (f"{self._fingerprint(self.library)}:"
                       f"{getattr(self.library, 'name', '?')}/"
                       f"{len(getattr(self.library, 'classes', []))}")
-        return {
+        signature = {
             "factory": self._fingerprint(self.design_factory),
             "library": library_id,
             "margin_fraction": self.margin_fraction,
@@ -296,6 +303,11 @@ class DSEEngine:
                 for p in self.points
             ],
         }
+        # Only non-default modes enter the signature, so checkpoints written
+        # before the scheduling knob existed keep restoring block sweeps.
+        if self.scheduling != "block":
+            signature["scheduling"] = self.scheduling
+        return signature
 
     def _load_checkpoint(self) -> Dict[str, Dict[str, object]]:
         """Per-point records of a matching checkpoint, else empty."""
@@ -419,13 +431,15 @@ class DSEEngine:
 
         def payload(index: int, point: DesignPoint):
             return (index, self.design_factory, self.library, point,
-                    self.margin_fraction, self.use_analysis_cache)
+                    self.margin_fraction, self.use_analysis_cache,
+                    self.scheduling)
 
         if mode == "serial" or not pending:
             session = self.session if self.session is not None else SweepSession(
                 self.design_factory, self.library,
                 margin_fraction=self.margin_fraction,
-                use_cache=self.use_analysis_cache)
+                use_cache=self.use_analysis_cache,
+                scheduling=self.scheduling)
             for index, point in pending:
                 outcome = self._outcome_from_result(
                     _evaluate_in_session(session, index, point), records)

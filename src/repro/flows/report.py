@@ -127,10 +127,16 @@ def table4_rows(dse_result) -> Tuple[List[str], List[List[str]]]:
     header = ["Des", "latency", "II", "A_conv", "A_slack", "Save %"]
     rows = []
     for entry in dse_result.entries:
+        # Pipelined entries carry the *achieved* II (MII-derived, possibly
+        # bumped past the point's request) in the flow details; block-mode
+        # entries fall back to the point's declared interval.
+        flow = getattr(entry, "slack_based", None)
+        details = getattr(flow, "details", None) or {}
+        ii = details.get("initiation_interval", entry.point.pipeline_ii)
         rows.append([
             entry.point.name,
             str(entry.point.latency),
-            str(entry.point.pipeline_ii or "-"),
+            str(ii or "-"),
             fmt_metric(entry.area_conventional, ".0f"),
             fmt_metric(entry.area_slack, ".0f"),
             fmt_metric(entry.saving_percent, ".1f"),

@@ -46,6 +46,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.analysis_cache import AnalysisCache, default_cache, design_fingerprint
+from repro.errors import ReproError
 from repro.ir.design import Design
 from repro.lib.library import Library
 from repro.flows.conventional import conventional_flow
@@ -114,6 +115,12 @@ class SweepSession:
         bundle (built via :meth:`PointArtifacts.build`), which the cache
         contract guarantees is bit-for-bit equivalent.  This mirrors the
         ``use_cache`` switch of :func:`~repro.flows.dse.evaluate_point`.
+    scheduling:
+        ``"block"`` (default) or ``"pipeline"``, forwarded to both flows for
+        every point.  In pipeline mode each point's ``pipeline_ii`` is the
+        target initiation interval (``None`` lets the flows start from the
+        computed MII), making II a first-class sweep knob next to latency
+        and clock period.
 
     A session is a per-sweep object: its intern tables grow with the number
     of distinct structures evaluated and are only released with the session.
@@ -129,10 +136,15 @@ class SweepSession:
         margin_fraction: float = 0.05,
         cache: Optional[AnalysisCache] = None,
         use_cache: bool = True,
+        scheduling: str = "block",
     ):
+        if scheduling not in ("block", "pipeline"):
+            raise ReproError(f"unknown scheduling mode {scheduling!r} "
+                             f"(expected 'block' or 'pipeline')")
         self.design_factory = design_factory
         self.library = library
         self.margin_fraction = margin_fraction
+        self.scheduling = scheduling
         self.cache = cache if cache is not None else default_cache()
         self.use_cache = use_cache
         self.stats = SweepStats()
@@ -195,11 +207,13 @@ class SweepSession:
         conventional = conventional_flow(
             design, self.library, clock_period=point.clock_period,
             pipeline_ii=point.pipeline_ii, artifacts=artifacts,
+            scheduling=self.scheduling,
         )
         slack = slack_based_flow(
             design, self.library, clock_period=point.clock_period,
             pipeline_ii=point.pipeline_ii,
             margin_fraction=self.margin_fraction, artifacts=artifacts,
+            scheduling=self.scheduling,
         )
         self.stats.points_evaluated += 1
         self._refresh_delta_counters()

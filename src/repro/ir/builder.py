@@ -116,9 +116,15 @@ class DesignBuilder:
         return self.op(kind, birth_edge, name=name, width=width,
                        operand_widths=widths, inputs=[lhs, rhs])
 
-    def loop_carry(self, src: str, dst: str, dst_port: int = 0) -> None:
-        """Mark a loop-carried dependency (backward DFG edge)."""
-        self.dfg.connect(src, dst, dst_port=dst_port, backward=True)
+    def loop_carry(self, src: str, dst: str, dst_port: int = 0,
+                   distance: int = 1) -> None:
+        """Mark a loop-carried dependency (backward DFG edge).
+
+        ``distance`` is the dependence distance in iterations (``>= 1``):
+        the consumer reads the value produced ``distance`` iterations ago.
+        """
+        self.dfg.connect(src, dst, dst_port=dst_port, backward=True,
+                         distance=distance)
 
     # -- finalisation -------------------------------------------------------------------
 

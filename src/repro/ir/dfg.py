@@ -20,22 +20,31 @@ class DataEdge:
     """A data dependency ``src -> dst`` feeding operand ``dst_port`` of dst.
 
     ``backward`` marks loop-carried dependencies (the consumed value comes
-    from the previous loop iteration); these edges never constrain intra-
-    iteration timing and are dropped by the timed-DFG construction, exactly
-    like CFG backward edges.
+    from an earlier loop iteration); the block-bounded timed-DFG construction
+    drops them, exactly like CFG backward edges, while the pipelined (cyclic)
+    construction keeps them with their iteration ``distance``.
+
+    ``distance`` is the dependence distance in iterations: a forward edge
+    always has distance 0 (same iteration); a backward edge has distance
+    ``d >= 1``, meaning the consumer reads the value the producer computed
+    ``d`` iterations earlier.  Because every DFG cycle must contain at least
+    one backward edge (the forward subgraph stays acyclic), every cycle
+    automatically has positive total distance — the legality condition for
+    modulo scheduling.
     """
 
     src: str
     dst: str
     dst_port: int = 0
     backward: bool = False
+    distance: int = 0
     attrs: Dict[str, object] = field(default_factory=dict)
 
     def key(self) -> Tuple[str, str, int]:
         return (self.src, self.dst, self.dst_port)
 
     def __repr__(self):  # pragma: no cover - cosmetic
-        arrow = "~>" if self.backward else "->"
+        arrow = f"~{self.distance}~>" if self.backward else "->"
         return f"DataEdge({self.src} {arrow} {self.dst}[{self.dst_port}])"
 
 
@@ -89,14 +98,31 @@ class DFG:
         dst: str,
         dst_port: int = 0,
         backward: bool = False,
+        distance: Optional[int] = None,
         **attrs,
     ) -> DataEdge:
-        """Add a data dependency from ``src`` to ``dst``."""
+        """Add a data dependency from ``src`` to ``dst``.
+
+        ``distance`` defaults to 1 for backward (loop-carried) edges and 0
+        for forward edges; a forward edge with a nonzero distance or a
+        backward edge with distance < 1 is rejected.
+        """
         for endpoint in (src, dst):
             if endpoint not in self._ops:
                 raise IRError(f"DFG edge references unknown operation {endpoint!r}")
+        if distance is None:
+            distance = 1 if backward else 0
+        distance = int(distance)
+        if backward and distance < 1:
+            raise IRError(
+                f"loop-carried edge {src!r} -> {dst!r} needs distance >= 1, "
+                f"got {distance}")
+        if not backward and distance != 0:
+            raise IRError(
+                f"forward edge {src!r} -> {dst!r} must have distance 0, "
+                f"got {distance}")
         edge = DataEdge(src=src, dst=dst, dst_port=dst_port, backward=backward,
-                        attrs=dict(attrs))
+                        distance=distance, attrs=dict(attrs))
         self._edges.append(edge)
         self._succ[src].append(edge)
         self._pred[dst].append(edge)
@@ -259,7 +285,8 @@ class DFG:
             )
         for edge in self._edges:
             clone.connect(edge.src, edge.dst, dst_port=edge.dst_port,
-                          backward=edge.backward, **dict(edge.attrs))
+                          backward=edge.backward, distance=edge.distance,
+                          **dict(edge.attrs))
         return clone
 
     def __contains__(self, name: str) -> bool:

@@ -78,9 +78,17 @@ def dfg_to_dot(dfg: DFG, schedule: Optional[Dict[str, str]] = None,
                 f"  {_quote(op.name)} [label={_quote(f'{op.kind.value}:{op.name}')}];"
             )
     for edge in dfg.edges:
-        style = "dashed" if edge.backward else "solid"
-        lines.append(
-            f"  {_quote(edge.src)} -> {_quote(edge.dst)} [style={style}];"
-        )
+        if edge.backward:
+            # Loop-carried dependence: dashed, labelled with its iteration
+            # distance (the [d] annotations of classic modulo-scheduling
+            # dependence graphs).
+            lines.append(
+                f"  {_quote(edge.src)} -> {_quote(edge.dst)} "
+                f"[style=dashed, label={_quote(f'd={edge.distance}')}];"
+            )
+        else:
+            lines.append(
+                f"  {_quote(edge.src)} -> {_quote(edge.dst)} [style=solid];"
+            )
     lines.append("}")
     return "\n".join(lines) + "\n"

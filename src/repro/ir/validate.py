@@ -70,7 +70,15 @@ def validate_dfg(dfg: DFG) -> List[str]:
 
     Hard errors:
 
-    * forward cycles (combinational loops);
+    * forward cycles (combinational loops) — cycles are legal only when
+      every cycle has positive total iteration distance, which the edge
+      invariants guarantee: forward edges carry distance 0 and each
+      loop-carried (backward) edge carries distance >= 1, so a cycle is
+      legal iff it contains a backward edge, i.e. iff the forward subgraph
+      is acyclic;
+    * a loop-carried edge whose distance is < 1, or a forward edge whose
+      distance is nonzero (either would let a cycle's total distance reach
+      zero — a combinational loop in disguise);
     * operations consuming more operands than their declared operand count
       (a ``dst_port`` beyond ``operand_widths``) when widths were declared;
     * constants with missing values.
@@ -82,6 +90,17 @@ def validate_dfg(dfg: DFG) -> List[str]:
     """
     warnings: List[str] = []
     dfg.topological_order()  # raises on forward cycles
+
+    for edge in dfg.edges:
+        if edge.backward and edge.distance < 1:
+            raise IRError(
+                f"loop-carried edge {edge.src!r} -> {edge.dst!r} has "
+                f"distance {edge.distance}; carried dependences need "
+                f"distance >= 1")
+        if not edge.backward and edge.distance != 0:
+            raise IRError(
+                f"forward edge {edge.src!r} -> {edge.dst!r} has nonzero "
+                f"distance {edge.distance}")
 
     for op in dfg.operations:
         in_edges = dfg.in_edges(op.name, forward_only=False)

@@ -40,6 +40,8 @@ class RelaxationLog:
     attempts: int = 0
     resources_added: List[Tuple[str, int]] = field(default_factory=list)
     upgrades: List[str] = field(default_factory=list)
+    ii_bumps: List[int] = field(default_factory=list)
+    final_ii: Optional[int] = None
     messages: List[str] = field(default_factory=list)
 
     def note(self, message: str) -> None:
@@ -110,27 +112,81 @@ def schedule_with_relaxation(
     timing_margin: float = 0.0,
     max_attempts: int = 500,
     upgrade_on_last_chance: bool = True,
+    scheduler=None,
+    max_ii: Optional[int] = None,
 ) -> Tuple[Schedule, Allocation, Dict[str, Optional[ResourceVariant]], RelaxationLog]:
-    """Schedule ``design``, relaxing resources/grades until a pass succeeds."""
+    """Schedule ``design``, relaxing resources/grades until a pass succeeds.
+
+    ``scheduler`` selects the scheduling engine — any callable with
+    :func:`try_list_schedule`'s signature; the pipelined flow passes
+    :func:`repro.sched.modulo_scheduler.try_modulo_schedule`.  A structured
+    ``"recurrence"`` failure (only the modulo engine emits it) is relaxed by
+    *bumping the initiation interval* by one, the same kind of move as a
+    grade upgrade or an added instance: the minimal allocation is recomputed
+    at the new II (slots are capped at II, so a larger II may need fewer
+    instances) unless the caller pinned an explicit ``allocation``.
+    ``max_ii`` bounds the bumping (default: never beyond the design's state
+    count, at which point the loop no longer overlaps at all).
+    """
     latency = latency or LatencyAnalysis(design.cfg)
     spans = spans or OperationSpans(design, latency=latency)
+    pinned_allocation = allocation is not None
+    current_ii = pipeline_ii
     allocation = (allocation or
                   minimal_allocation(design, library, spans=spans,
-                                     pipeline_ii=pipeline_ii)).copy()
+                                     pipeline_ii=current_ii)).copy()
     variants: Dict[str, Optional[ResourceVariant]] = dict(variant_map)
+    scheduler = scheduler or try_list_schedule
+    if max_ii is None:
+        max_ii = max(len(latency.forward_edge_names), 1)
     log = RelaxationLog()
+    last_signature = None
 
     for _ in range(max_attempts):
         log.attempts += 1
-        attempt: SchedulingAttempt = try_list_schedule(
+        attempt: SchedulingAttempt = scheduler(
             design, library, clock_period, variants, allocation,
             spans=spans, latency=latency, priority=priority,
-            pipeline_ii=pipeline_ii, timing_margin=timing_margin,
+            pipeline_ii=current_ii, timing_margin=timing_margin,
             upgrade_on_last_chance=upgrade_on_last_chance,
         )
         if attempt.success:
+            log.final_ii = getattr(attempt.schedule, "pipeline_ii", None)
             return attempt.schedule, allocation, variants, log
         failure = attempt.failure
+        # Under the modulo engine, a relaxation that reproduces the
+        # *identical* failure made no progress: a carried-dependence clamp,
+        # not the reported shortage, squeezed the failing chain — relax the
+        # II instead.  The block engine has no such clamp and may legally
+        # repeat a signature while upgrading different ancestor-cone ops
+        # (Case 2), so it keeps relaxing until a move is exhausted (the
+        # explicit raise paths below) or ``max_attempts`` runs out.
+        signature = (failure.op, failure.edge, failure.reason,
+                     failure.class_key, failure.blocking_class_key,
+                     failure.detail)
+        stalled = signature == last_signature
+        last_signature = signature
+        can_bump = scheduler is not try_list_schedule
+        if failure.reason == "recurrence" or (stalled and can_bump):
+            last_signature = None
+            bumped = (current_ii or design.pipeline_ii or 1) + 1
+            if bumped > max_ii:
+                raise InfeasibleDesignError(
+                    f"recurrences of design {design.name!r} do not fit even "
+                    f"at II={max_ii} (no iteration overlap left): {failure}"
+                )
+            current_ii = bumped
+            log.ii_bumps.append(bumped)
+            log.note(f"raised the initiation interval to {bumped} after a "
+                     f"recurrence failure on {failure.op}")
+            if not pinned_allocation:
+                # Restart from the minimal allocation at the new II: a wider
+                # window needs fewer instances, and that trade is the whole
+                # point of the II axis.  Instances added at the old II are
+                # dropped; the loop re-adds any that are still needed.
+                allocation = minimal_allocation(design, library, spans=spans,
+                                                pipeline_ii=bumped)
+            continue
         if failure.reason == "resource" and failure.class_key is not None:
             allocation.add(failure.class_key)
             log.resources_added.append(failure.class_key)

@@ -40,6 +40,9 @@ class Schedule:
             raise SchedulingError("clock period must be positive")
         self.design = design
         self.clock_period = clock_period
+        #: Initiation interval the schedule was produced at (set by the
+        #: modulo scheduler; None for block-bounded schedules).
+        self.pipeline_ii: Optional[int] = None
         self._items: Dict[str, ScheduledOp] = {}
         self._by_edge: Dict[str, List[str]] = {}
 

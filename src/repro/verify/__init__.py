@@ -22,6 +22,7 @@ of seeded, generated scenarios, compiler-fuzzing style:
 from repro.verify.scenarios import (
     ScenarioProfile,
     ScenarioSpec,
+    generate_pipelined_scenario,
     generate_scenario,
     scenario_stream,
 )
@@ -46,6 +47,7 @@ from repro.verify.runner import (
 __all__ = [
     "ScenarioProfile",
     "ScenarioSpec",
+    "generate_pipelined_scenario",
     "generate_scenario",
     "scenario_stream",
     "ORACLES",

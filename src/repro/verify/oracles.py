@@ -31,6 +31,11 @@ oracle                          equivalence under test
                                 (interned :class:`~repro.rtl.timing.StateTimingKernel`)
                                 vs. :func:`~repro.rtl.timing.analyze_state_timing_reference`,
                                 **exact** report equality
+``pipelined-vs-unrolled``       the modulo schedule at the achieved II, expanded
+                                over :func:`repro.ir.transforms.unroll_loop`'s
+                                acyclic ``k``-iteration unrolling, satisfies every
+                                materialised dependence edge and shares each FU
+                                instance collision-free (steps distinct mod II)
 ==============================  ==================================================
 
 Failure semantics: a scenario on which *both* sides fail with the same
@@ -65,7 +70,9 @@ from repro.lib.tsmc90 import tsmc90_library
 from repro.core.bellman_ford import compute_sequential_slack_bellman_ford
 from repro.core.sequential_slack import compute_sequential_slack
 from repro.explore.pareto import FrontPoint, front_invariant_violations
+from repro.ir.cfg import NodeKind
 from repro.ir.operations import OpKind
+from repro.ir.transforms import unroll_loop
 from repro.core.graphkit import kernel_vs_reference_problems
 from repro.rtl.area_recovery import recover_area, recover_area_reference
 from repro.rtl.incremental_timing import IncrementalStateTiming
@@ -442,6 +449,95 @@ def _check_graphkit_state_timing(spec: ScenarioSpec, library: Library) -> str:
                      if kernel_map.get(key) != reference_map.get(key)]
             problems.append(f"{field_name} differs on {diffs[:3]}")
     return "; ".join(problems)
+
+
+# -- oracle: modulo schedule vs acyclic unrolled expansion -------------------------
+
+
+@oracle("pipelined-vs-unrolled",
+        "the modulo schedule, expanded over an acyclic k-iteration "
+        "unrolling, satisfies every dependence and shares FUs "
+        "collision-free (steps distinct mod II)")
+def _check_pipelined_vs_unrolled(spec: ScenarioSpec, library: Library) -> str:
+    """Differential witness of modulo scheduling.
+
+    A pipelined schedule asserts that iteration ``i`` may start ``i * II``
+    steps after iteration 0 while every loop-carried dependence still
+    holds.  :func:`repro.ir.transforms.unroll_loop` makes that claim
+    checkable without the cyclic machinery: in the ``k``-iteration
+    expansion each carried edge of distance ``d`` is an ordinary forward
+    edge ``src@(i-d) -> dst@i``, and op ``x@i`` starts at
+    ``step(x) + i * II``.  The oracle asserts (a) every expanded edge is
+    satisfied — producer strictly before consumer, or same step with the
+    producer's chained finish no later than the consumer's start — and
+    (b) the binding's FU sharing is collision-free under the expansion:
+    the ops of one instance occupy pairwise-distinct steps modulo the II
+    (two overlapped iterations claim an FU in the same cycle otherwise).
+    """
+    if spec.pipeline_ii is None:
+        return ""  # not a pipelined scenario; nothing to witness
+    design = spec.design()
+    if any(node.kind not in (NodeKind.START, NodeKind.STATE)
+           for node in design.cfg.nodes):
+        return ""  # branchy loops do not unroll (and are never pipelined)
+
+    flow, error = _run_side(lambda: conventional_flow(
+        design, library, clock_period=spec.clock_period,
+        pipeline_ii=spec.pipeline_ii, scheduling="pipeline",
+        artifacts=PointArtifacts.build(design)))
+    if error is not None:
+        # Legitimately infeasible at this clock; feasibility arbitration
+        # is the other oracles' business.
+        return ""
+    ii = int(flow.details["initiation_interval"])
+    schedule = flow.schedule
+
+    # Enough iterations that every carried distance materialises at least
+    # once and the steady state overlaps.
+    factor = max(2, -(-flow.latency_steps // ii) + 1)
+    unrolled, error = _run_side(lambda: unroll_loop(design, factor))
+    if error is not None:
+        return f"unroll_loop failed on a pipelined design: {error}"
+
+    def expanded(op_name: str):
+        base, _, iteration = op_name.rpartition("@")
+        item = schedule.get(base)
+        if item is None:
+            return None
+        return item.step + int(iteration) * ii, item
+
+    problems: List[str] = []
+    for edge in unrolled.dfg.forward_edges:
+        src = expanded(edge.src)
+        dst = expanded(edge.dst)
+        if src is None or dst is None:
+            continue  # constants are not scheduled
+        src_step, src_item = src
+        dst_step, dst_item = dst
+        if src_step < dst_step:
+            continue
+        if src_step == dst_step \
+                and src_item.finish <= dst_item.start + _ABS_TOL:
+            continue
+        problems.append(
+            f"dependence {edge.src} -> {edge.dst} violated: producer at "
+            f"expanded step {src_step} (finish {src_item.finish:.1f}) vs "
+            f"consumer at {dst_step} (start {dst_item.start:.1f})")
+
+    for instance in flow.datapath.binding.instances:
+        residues: Dict[int, str] = {}
+        for op_name in instance.ops:
+            step = schedule.step_of(op_name)
+            residue = step % ii
+            other = residues.get(residue)
+            if other is not None:
+                problems.append(
+                    f"FU {instance.name} is claimed by {other} and "
+                    f"{op_name} in the same cycle (steps collide mod "
+                    f"II={ii}): overlapped iterations would conflict")
+            else:
+                residues[residue] = op_name
+    return "; ".join(problems[:5])
 
 
 # -- oracle: Pareto front invariants on generated fronts ---------------------------

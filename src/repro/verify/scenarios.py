@@ -85,6 +85,10 @@ class ScenarioSpec:
     pipeline_ii: Optional[int] = None
     margin_fraction: float = 0.05
     profile: str = "mixed"
+    #: Loop-carried dependence triples ``(src_index, dst_index, distance)``
+    #: in :func:`repro.workloads.generator.segmented_design`'s modulo-repair
+    #: encoding — any integers build, so shrinking stays closed.
+    carried: Tuple[Tuple[int, int, int], ...] = ()
 
     # -- construction ------------------------------------------------------------
 
@@ -108,7 +112,8 @@ class ScenarioSpec:
                                       outputs=self.outputs,
                                       tail_states=self.tail_states,
                                       name=self.name,
-                                      clock_period=self.clock_period)
+                                      clock_period=self.clock_period,
+                                      carried=self.carried)
             object.__setattr__(self, "_design", cached)
         return cached
 
@@ -126,7 +131,8 @@ class ScenarioSpec:
                                      inputs=self.inputs,
                                      outputs=self.outputs,
                                      tail_states=self.tail_states,
-                                     name=self.name)
+                                     name=self.name,
+                                     carried=self.carried)
 
     def point(self, name: str = "p0",
               clock_period: Optional[float] = None) -> DesignPoint:
@@ -187,6 +193,7 @@ class ScenarioSpec:
             "pipeline_ii": self.pipeline_ii,
             "margin_fraction": self.margin_fraction,
             "profile": self.profile,
+            "carried": [list(triple) for triple in self.carried],
         }
 
     @classmethod
@@ -206,6 +213,8 @@ class ScenarioSpec:
             pipeline_ii=int(ii) if ii is not None else None,  # type: ignore[arg-type]
             margin_fraction=float(data.get("margin_fraction", 0.05)),  # type: ignore[arg-type]
             profile=str(data.get("profile", "mixed")),
+            carried=tuple(tuple(int(x) for x in triple)
+                          for triple in data.get("carried", ())),  # type: ignore[union-attr]
         )
 
 
@@ -318,7 +327,36 @@ def generate_scenario(seed: Optional[int] = None,
     all_linear = all(segment[0] == SEGMENT_LINEAR for segment in spec.segments)
     states = spec.num_states()
     if all_linear and states >= 2 and rng.random() < bounds.pipeline_probability:
-        spec = replace(spec, pipeline_ii=max(1, states // 2))
+        carried = tuple(
+            (rng.randrange(1 << 16), rng.randrange(1 << 16), rng.randint(1, 3))
+            for _ in range(rng.randint(0, 2)))
+        spec = replace(spec, pipeline_ii=max(1, states // 2), carried=carried)
+    return spec
+
+
+def generate_pipelined_scenario(seed: Optional[int] = None,
+                                profile: Optional[ScenarioProfile] = None,
+                                ) -> ScenarioSpec:
+    """Draw a scenario guaranteed to be pipelined and loop-carried.
+
+    The family behind the pipelined-vs-unrolled oracle: straight-line
+    control flow (diamonds are suppressed so the design unrolls), a
+    requested initiation interval, and at least one seeded carried
+    dependence.  Deterministic in ``seed`` like :func:`generate_scenario`.
+    """
+    bounds = profile or ScenarioProfile()
+    bounds = replace(bounds, diamond_probability=0.0, pipeline_probability=1.0)
+    spec = generate_scenario(seed, profile=bounds)
+    if spec.pipeline_ii is None:
+        # A one-state draw skipped the pipelined branch: stretch it by a
+        # wait state and request the tightest interval.
+        spec = replace(spec, tail_states=max(spec.tail_states, 1),
+                       pipeline_ii=1)
+    if not spec.carried:
+        rng = random.Random(spec.seed ^ 0xC0FFEE)
+        spec = replace(spec, carried=(
+            (rng.randrange(1 << 16), rng.randrange(1 << 16),
+             rng.randint(1, 3)),))
     return spec
 
 

@@ -140,13 +140,15 @@ class SegmentedPointFactory:
     outputs: int = 1
     tail_states: int = 0
     name: str = "segmented"
+    carried: Tuple[Tuple[int, int, int], ...] = ()
 
     def __call__(self, point) -> Design:
         return segmented_design(self.segments, self.inputs,
                                 outputs=self.outputs,
                                 tail_states=self.tail_states,
                                 name=self.name,
-                                clock_period=point.clock_period)
+                                clock_period=point.clock_period,
+                                carried=self.carried)
 
 
 @dataclass(frozen=True)

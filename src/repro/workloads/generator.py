@@ -204,6 +204,7 @@ def segmented_design(
     tail_states: int = 0,
     name: str = "segmented",
     clock_period: Optional[float] = None,
+    carried: Sequence[Sequence[int]] = (),
 ) -> Design:
     """Build a multi-basic-block design from a primitive segment list.
 
@@ -229,6 +230,15 @@ def segmented_design(
     on the final edge; ``tail_states`` appends op-less wait states before
     the loop-back edge.  The construction is a pure function of the
     arguments, so structurally equal specs fingerprint identically.
+
+    ``carried`` optionally adds loop-carried (backward DFG) dependences:
+    each ``(src_index, dst_index, distance)`` triple picks its endpoints
+    from the final main-path value list with the same modulo-indexing
+    repair as operand references (the destination additionally restricts
+    to operations that consume operands, since a carried value must feed
+    an input port), and ``distance`` maps into ``1..8`` iterations.  Specs
+    without such a consumer silently carry nothing, and duplicate resolved
+    pairs collapse — so every shrunk mutation still builds.
     """
     if not segments:
         raise IRError("a segmented design needs at least one segment")
@@ -330,6 +340,20 @@ def segmented_design(
         value, value_width = main[len(main) - 1 - index]
         builder.write(f"out{index}", last_edge, value, width=value_width,
                       name=f"wr_{index}")
+
+    consumers = [value for value, _ in main if builder.dfg.op(value).operand_widths]
+    placed = set()
+    for triple in carried:
+        src_index, dst_index, distance = triple
+        if not consumers:
+            break
+        src, _ = _pick(main, src_index)
+        dst = consumers[int(dst_index) % len(consumers)]
+        if (src, dst) in placed:
+            continue
+        placed.add((src, dst))
+        builder.loop_carry(src, dst, dst_port=0,
+                           distance=(int(distance) - 1) % 8 + 1)
 
     builder.edge(previous, "start", name="loop_back", backward=True)
     design = builder.build()

@@ -83,6 +83,9 @@ def test_pr_scoped_fuzz_smoke_runs_in_the_test_job(workflow):
     assert "repro.verify run" in run_text
     assert "--iterations 50" in run_text
     assert "--seed 0" in run_text
+    # No oracle filter: every registered oracle (including
+    # pipelined-vs-unrolled) joins the PR-scoped round-robin.
+    assert "--oracles" not in run_text
 
 
 def test_nightly_fuzz_job_budget_seed_and_artifact(workflow):
@@ -153,3 +156,9 @@ def test_perf_baseline_is_committed_and_well_formed():
     assert ("benchmarks/test_bench_kernel_sweep.py::"
             "test_batched_session_matches_and_beats_per_point"
             in data["benchmarks"])
+    # Likewise the modulo-scheduler entries: the pipelined flow's wall time
+    # and the II sweep stay under the perf gate.
+    assert ("benchmarks/test_bench_pipeline.py::test_modulo_scheduling_time"
+            in data["benchmarks"])
+    assert ("benchmarks/test_bench_pipeline.py::"
+            "test_ii_sweep_trades_area_for_throughput" in data["benchmarks"])

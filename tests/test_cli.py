@@ -52,3 +52,24 @@ def test_sweep_subcommand_runs_session(tmp_path, capsys):
 def test_sweep_rejects_bad_grid(capsys):
     assert main(["sweep", "--latencies", "not-a-grid"]) == 2
     assert "LO:HI" in capsys.readouterr().err
+
+
+def test_sweep_ii_range_pipelines_the_points(tmp_path, capsys):
+    out_path = tmp_path / "metrics.json"
+    code = main(["sweep", "--rows", "1", "--latencies", "8",
+                 "--ii", "4:5", "--json", str(out_path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Sweep: 2 point(s)" in out
+    metrics = json.loads(out_path.read_text())
+    assert {m["point"]["name"] for m in metrics} == {"II4", "II5"}
+    assert {m["point"]["pipeline_ii"] for m in metrics} == {4, 5}
+    for m in metrics:
+        assert m["slack_based"]["meets_timing"]
+
+
+def test_sweep_rejects_bad_ii_range(capsys):
+    assert main(["sweep", "--ii", "three"]) == 2
+    assert "--ii expects LO:HI" in capsys.readouterr().err
+    assert main(["sweep", "--ii", "5:2"]) == 2
+    assert "LO <= HI" in capsys.readouterr().err

@@ -196,6 +196,76 @@ class TestReuse:
         assert len(calls) == 1 and len(calls[0]) == 1
 
 
+class TestIIAxis:
+    """The II-vs-area frontier: sweeping the initiation interval instead
+    of the latency."""
+
+    def _ii_evaluator(self, area_of_ii, calls=None):
+        def evaluate(points):
+            if calls is not None:
+                calls.append([p.pipeline_ii for p in points])
+            base = synthetic_evaluator(lambda lat: 0.0)(points)
+            for record, p in zip(base, points):
+                area = float(area_of_ii(p.pipeline_ii))
+                record["slack_based"]["area"] = area
+                record["conventional"]["area"] = area * 1.2
+            return base
+        return evaluate
+
+    def test_ii_axis_sweeps_pipelined_points_at_one_latency(self):
+        calls = []
+        result = AdaptiveExplorer(
+            FIR, library=None, latencies=[8], ii_values=range(1, 9),
+            objectives=("initiation_interval", "area"),
+            evaluate_batch=self._ii_evaluator(lambda ii: 1000.0 / ii, calls),
+            workload="fir_ii").explore_dense()
+        assert result.axis == "ii"
+        assert result.evaluated_latencies == list(range(1, 9))
+        assert all(ii is not None for wave in calls for ii in wave)
+        # Lower II costs area, so every point is Pareto-optimal here.
+        assert len(result.front) == 8
+        front_iis = sorted(p.raw_value("initiation_interval")
+                           for p in result.front)
+        assert front_iis == [float(ii) for ii in range(1, 9)]
+
+    def test_ii_axis_refines_like_the_latency_axis(self):
+        result = AdaptiveExplorer(
+            FIR, library=None, latencies=[8], ii_values=range(1, 17),
+            objectives=("initiation_interval", "area"),
+            evaluate_batch=self._ii_evaluator(lambda ii: 1000.0 / ii),
+            workload="fir_ii").explore()
+        dense = AdaptiveExplorer(
+            FIR, library=None, latencies=[8], ii_values=range(1, 17),
+            objectives=("initiation_interval", "area"),
+            evaluate_batch=self._ii_evaluator(lambda ii: 1000.0 / ii),
+            workload="fir_ii").explore_dense()
+        assert result.engine_evaluations < dense.engine_evaluations
+
+    def test_ii_axis_requires_exactly_one_latency(self):
+        with pytest.raises(Exception, match="one fixed latency"):
+            AdaptiveExplorer(FIR, library=None, latencies=[6, 8],
+                             ii_values=range(1, 4))
+        with pytest.raises(Exception, match=">= 1"):
+            AdaptiveExplorer(FIR, library=None, latencies=[8],
+                             ii_values=[0, 1])
+
+    def test_ii_axis_end_to_end_trades_ii_against_area(self, library):
+        """Real pipelined flows: shrinking the II must cost FU area."""
+        result = AdaptiveExplorer(
+            FIR, library, latencies=[6], ii_values=[1, 2, 3, 6],
+            objectives=("initiation_interval", "area"),
+            workload="fir_ii",
+            engine_kwargs={"executor": "serial"},
+        ).explore_dense()
+        assert result.axis == "ii"
+        assert len(result.front) >= 2
+        by_ii = sorted(result.front,
+                       key=lambda p: p.raw_value("initiation_interval"))
+        areas = [p.raw_value("area") for p in by_ii]
+        assert areas == sorted(areas, reverse=True)
+        assert areas[0] > areas[-1]
+
+
 class TestEngineIntegration:
     def test_real_engine_small_sweep_with_store(self, library, tmp_path):
         """End to end through DSEEngine on a small real FIR sweep."""

@@ -113,10 +113,10 @@ def test_run_dse_small_sweep(library):
     assert len(rows) == 3
 
 
-def test_run_dse_requires_both_flows(library):
+def test_run_dse_rejects_bad_scheduling_mode(library):
     with pytest.raises(ReproError):
         run_dse(lambda p: idct_design(latency=8, rows=1), library,
-                [DesignPoint(name="P", latency=8)], flows=("conventional",))
+                [DesignPoint(name="P", latency=8)], scheduling="overlapped")
 
 
 def test_report_tables(interpolation, library):

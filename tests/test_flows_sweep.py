@@ -177,24 +177,14 @@ def test_seeded_property_sweep_batched_equals_per_point(library):
 # -- shims and rewired call paths --------------------------------------------------
 
 
-def test_run_dse_flows_argument_is_deprecated(library, factory):
+def test_run_dse_flows_argument_is_gone(library, factory):
+    """The PR-6 deprecated ``flows=`` selector has been removed for good."""
     points = [DesignPoint("p0", latency=6, clock_period=CLOCK)]
+    with pytest.raises(TypeError):
+        run_dse(factory, library, points, flows=("conventional", "slack"))
     with warnings.catch_warnings():
-        warnings.simplefilter("error")
-        baseline = run_dse(factory, library, points)
-    with pytest.deprecated_call():
-        legacy = run_dse(factory, library, points,
-                         flows=("conventional", "slack"))
-    assert json.dumps(legacy.metrics_list(), sort_keys=True) \
-        == json.dumps(baseline.metrics_list(), sort_keys=True)
-
-
-def test_run_dse_flows_argument_still_validates(library, factory):
-    from repro.errors import ReproError
-
-    with pytest.deprecated_call():
-        with pytest.raises(ReproError):
-            run_dse(factory, library, [], flows=("conventional",))
+        warnings.simplefilter("error")  # and the clean call emits no warning
+        run_dse(factory, library, points)
 
 
 def test_evaluate_point_shim_matches_session_path(library, factory):

@@ -43,6 +43,20 @@ def test_acceptance_200_iterations_seed_0_is_deterministic():
     assert first.scenario_digest == second.scenario_digest
 
 
+def test_acceptance_pipelined_vs_unrolled_200_iterations_clean():
+    """The pipelined acceptance criterion: 200 iterations of the
+    loop-carried straight-line family against the pipelined-vs-unrolled
+    oracle find no violation."""
+    from repro.verify.scenarios import ScenarioProfile
+
+    profile = ScenarioProfile(diamond_probability=0.0,
+                              pipeline_probability=1.0)
+    report = run_fuzz(seed=0, iterations=200,
+                      oracle_names=["pipelined-vs-unrolled"], profile=profile)
+    assert report.ok, [f.details for f in report.failures[:3]]
+    assert report.checked_per_oracle == {"pipelined-vs-unrolled": 200}
+
+
 def test_run_respects_oracle_subset(capsys):
     assert main(["run", "--iterations", "6", "--seed", "0",
                  "--oracles", "pareto-front"]) == 0

@@ -11,11 +11,12 @@ from repro.verify.oracles import (
     oracle,
     select_oracles,
 )
-from repro.verify.scenarios import generate_scenario
+from repro.verify.scenarios import generate_pipelined_scenario, generate_scenario
 
 EXPECTED_ORACLES = ("area-recovery", "sequential-slack", "executor-modes",
                     "pipeline-cache", "sweep-session", "graphkit-kernels",
-                    "graphkit-state-timing", "pareto-front")
+                    "graphkit-state-timing", "pipelined-vs-unrolled",
+                    "pareto-front")
 
 
 def test_registry_contains_the_documented_oracles_in_order():
@@ -59,6 +60,52 @@ def test_oracles_agree_on_a_branchy_and_a_pipelined_scenario():
             outcome = entry.run(spec)
             assert outcome.ok, (
                 f"{entry.name} on seed {spec.seed}: {outcome.details}")
+
+
+class TestPipelinedVsUnrolled:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_agrees_on_the_pipelined_family(self, seed):
+        spec = generate_pipelined_scenario(seed)
+        assert spec.pipeline_ii is not None and spec.carried
+        outcome = ORACLES["pipelined-vs-unrolled"].run(spec, default_library())
+        assert outcome.ok, (
+            f"seed {spec.seed}: {outcome.details}")
+
+    def test_skips_unpipelined_scenarios(self):
+        spec = next(s for s in (generate_scenario(seed) for seed in range(50))
+                    if s.pipeline_ii is None)
+        outcome = ORACLES["pipelined-vs-unrolled"].run(spec, default_library())
+        assert outcome.ok and outcome.details == ""
+
+    def test_catches_a_broken_modulo_schedule(self, monkeypatch):
+        """Force the achieved II below what the recurrences allow: the
+        expanded dependence check must flag the overlap."""
+        import repro.verify.oracles as oracles_mod
+
+        real_flow = oracles_mod.conventional_flow
+
+        def lying_flow(design, library, **kwargs):
+            flow = real_flow(design, library, **kwargs)
+            if "initiation_interval" in flow.details:
+                flow.details["initiation_interval"] = 1
+                # Claim every schedule step collapses onto step 0 — a
+                # maximally-overlapped (and wrong) pipelining claim.
+                for item in flow.schedule.items:
+                    object.__setattr__(item, "step", 0)
+            return flow
+
+        monkeypatch.setattr(oracles_mod, "conventional_flow", lying_flow)
+        caught = False
+        for seed in range(10):
+            spec = generate_pipelined_scenario(seed)
+            outcome = ORACLES["pipelined-vs-unrolled"].run(
+                spec, default_library())
+            if not outcome.ok:
+                caught = True
+                assert "violated" in outcome.details \
+                    or "collide" in outcome.details
+                break
+        assert caught, "no pipelined scenario tripped the broken schedule"
 
 
 def test_compare_failures_arbitration():

@@ -9,6 +9,7 @@ from repro.ir.validate import validate_design
 from repro.verify.scenarios import (
     ScenarioProfile,
     ScenarioSpec,
+    generate_pipelined_scenario,
     generate_scenario,
     scenario_stream,
 )
@@ -114,3 +115,36 @@ def test_pipelined_scenarios_are_straight_line_only():
     for spec in pipelined:
         assert all(segment[0] == "linear" for segment in spec.segments)
         assert 1 <= spec.pipeline_ii <= spec.num_states()
+
+
+def test_pipelined_scenarios_may_carry_loop_dependences():
+    pipelined = [spec for _, spec in scenario_stream(0, 300)
+                 if spec.pipeline_ii is not None]
+    carried = [spec for spec in pipelined if spec.carried]
+    assert carried, "no pipelined scenario drew a carried dependence"
+    for spec in carried:
+        design = spec.design()
+        assert _structural_problems(design) == []
+    # At least one spec's carried triples survive as backward DFG edges
+    # (modulo-repair may drop triples only when no op consumes operands).
+    assert any(spec.design().dfg.backward_edges for spec in carried)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_generate_pipelined_scenario_guarantees_the_family(seed):
+    spec = generate_pipelined_scenario(seed)
+    assert spec.pipeline_ii is not None
+    assert spec.carried
+    assert all(segment[0] == "linear" for segment in spec.segments)
+    design = spec.design()
+    assert _structural_problems(design) == []
+    # Deterministic and replayable like the base generator.
+    assert generate_pipelined_scenario(seed) == spec
+
+
+def test_carried_field_round_trips_and_defaults_empty():
+    spec = generate_pipelined_scenario(3)
+    assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+    legacy = spec.to_dict()
+    del legacy["carried"]
+    assert ScenarioSpec.from_dict(legacy).carried == ()
