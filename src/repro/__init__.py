@@ -24,6 +24,10 @@ The package implements a complete high-level-synthesis (HLS) research stack:
   workloads/flows and the ``repro-explore`` CLI.
 * :mod:`repro.workloads` — the paper's kernels (interpolation, resizer, IDCT)
   and additional public-style kernels.
+* :mod:`repro.obs` — observability: hierarchical span tracing, the
+  process-wide metrics registry, phase profiling and trace export
+  (``repro profile``, ``--trace-out``).  Observation-only by contract:
+  tracing never changes a flow result.
 
 Quickstart::
 
@@ -78,6 +82,11 @@ _PUBLIC_API = {
     "ORACLES": "repro.verify.oracles",
     "Oracle": "repro.verify.oracles",
     "oracle": "repro.verify.oracles",
+    # observability layer (tracing, metrics, phase profiling)
+    "Tracer": "repro.obs.trace",
+    "tracing": "repro.obs.trace",
+    "cache_stats": "repro.obs.metrics",
+    "profile_report": "repro.obs.profile",
 }
 
 __all__ = [

@@ -36,6 +36,11 @@ from repro.lib.library import Library
 from repro.lib.resource import ResourceVariant
 from repro.core.delta_slack import CyclicSlackEvaluator, DeltaSlackEvaluator
 from repro.core.latency import LatencyAnalysis
+from repro.obs.metrics import counter as _obs_counter
+
+#: Budgeting telemetry (observation only; see repro.obs).
+_BUDGET_RUNS = _obs_counter("budgeting.runs")
+_BUDGET_ITERATIONS = _obs_counter("budgeting.iterations")
 from repro.core.opspan import OperationSpans
 from repro.core.sequential_slack import TimingResult
 from repro.core.timed_dfg import TimedDFG, build_timed_dfg
@@ -431,6 +436,8 @@ def budget_slack(
 
     timing = evaluator.export()
     cache.record_delta(evaluator.updates)
+    _BUDGET_RUNS.inc()
+    _BUDGET_ITERATIONS.inc(iterations)
 
     return BudgetingResult(
         clock_period=clock_period,

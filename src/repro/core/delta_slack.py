@@ -42,6 +42,15 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.graphkit import ALIGN_EPS, CompactTimedGraph, required_kernel
 from repro.core.sequential_slack import TimingResult, timing_result_from_kernel
+from repro.obs.metrics import counter as _obs_counter
+from repro.obs.trace import span as _obs_span
+
+#: Seed-cache telemetry (the caches themselves stay per-graph attributes;
+#: these process-wide tallies are what `repro.obs.metrics.cache_stats()`
+#: reports).  Observation only — never read back by the evaluator.
+_SEED_HITS = _obs_counter("delta_seeds.hits")
+_SEED_MISSES = _obs_counter("delta_seeds.misses")
+_SEED_INSERTS = _obs_counter("delta_seeds.inserts")
 
 _EPS = 1e-6
 _NEG_INF = -float("inf")
@@ -133,14 +142,18 @@ class DeltaSlackEvaluator:
         seed_key = (tuple(self.delays), clock_period, aligned)
         seed = seeds.get(seed_key)
         if seed is None:
-            self.arrival, self.effective = arrival_effective_kernel(
-                graph, self.delays, clock_period, aligned)
-            self.required = required_kernel(graph, self.delays, clock_period,
-                                            aligned=aligned)
+            _SEED_MISSES.inc()
+            with _obs_span("delta.seed_kernels", nodes=graph.num_nodes):
+                self.arrival, self.effective = arrival_effective_kernel(
+                    graph, self.delays, clock_period, aligned)
+                self.required = required_kernel(graph, self.delays,
+                                                clock_period, aligned=aligned)
             if len(seeds) < 64:
                 seeds[seed_key] = (list(self.arrival), list(self.effective),
                                    list(self.required))
+                _SEED_INSERTS.inc()
         else:
+            _SEED_HITS.inc()
             base_arrival, base_effective, base_required = seed
             self.arrival = list(base_arrival)
             self.effective = list(base_effective)

@@ -24,6 +24,7 @@ from repro.lib.library import Library
 from repro.lib.resource import ResourceVariant
 from repro.flows.pipeline import PointArtifacts, finalize_flow
 from repro.flows.result import FlowResult
+from repro.obs.trace import span as _obs_span
 from repro.sched.modulo_scheduler import compute_mii, try_modulo_schedule
 from repro.sched.priorities import mobility_priority
 from repro.sched.relaxation import schedule_with_relaxation
@@ -100,14 +101,17 @@ def conventional_flow(
             pipeline_ii = mii.mii
 
     scheduling_start = time.perf_counter()
-    schedule, allocation, final_variants, relax_log = schedule_with_relaxation(
-        design, library, clock_period, variants,
-        spans=spans, latency=latency,
-        priority=mobility_priority(spans),
-        pipeline_ii=pipeline_ii,
-        timing_margin=timing_margin,
-        scheduler=scheduler,
-    )
+    with _obs_span("flow.schedule", flow="conventional", design=design.name,
+                   scheduling=scheduling):
+        schedule, allocation, final_variants, relax_log = \
+            schedule_with_relaxation(
+                design, library, clock_period, variants,
+                spans=spans, latency=latency,
+                priority=mobility_priority(spans),
+                pipeline_ii=pipeline_ii,
+                timing_margin=timing_margin,
+                scheduler=scheduler,
+            )
     scheduling_seconds = time.perf_counter() - scheduling_start
 
     details: Dict[str, object] = {

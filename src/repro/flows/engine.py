@@ -35,7 +35,9 @@ import pickle
 import tempfile
 import time
 import traceback
+import warnings
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
+from contextlib import nullcontext
 from dataclasses import dataclass, field, is_dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -44,8 +46,15 @@ from repro.ir.design import Design
 from repro.lib.library import Library
 from repro.flows.dse import DesignPoint, DSEEntry, DSEResult, evaluate_point
 from repro.flows.sweep import SweepSession
+from repro.obs.metrics import counter as _obs_counter
+from repro.obs.trace import active_tracer as _active_tracer
+from repro.obs.trace import is_enabled as _tracing_enabled
+from repro.obs.trace import tracing as _obs_tracing
 
 CHECKPOINT_VERSION = 1
+
+#: Observer failures isolated by :meth:`DSEEngine._emit` (see repro.obs).
+_PROGRESS_ERRORS = _obs_counter("engine.progress_errors")
 
 
 @dataclass(frozen=True)
@@ -84,12 +93,19 @@ class PointOutcome:
 
 @dataclass
 class EngineResult:
-    """Outcome of a full engine sweep, in design-point input order."""
+    """Outcome of a full engine sweep, in design-point input order.
+
+    ``progress_errors`` counts exceptions raised by the caller's progress
+    callback during this run; they are isolated (recorded and warned about
+    once, never propagated), so a buggy observer cannot abort a sweep.
+    """
 
     outcomes: List[PointOutcome] = field(default_factory=list)
     wall_time_seconds: float = 0.0
     executor: str = "serial"
     max_workers: int = 1
+    progress_errors: int = 0
+    progress_last_error: Optional[str] = None
 
     @property
     def entries(self) -> List[DSEEntry]:
@@ -132,19 +148,30 @@ class EngineResult:
 
 
 def _evaluate_payload(payload):
-    """Process-pool entry point: evaluate one design point, never raise."""
-    index, factory, library, point, margin_fraction, use_cache, scheduling \
-        = payload
+    """Process-pool entry point: evaluate one design point, never raise.
+
+    ``trace`` (the payload's last element) asks the worker to record spans
+    locally — the parent's tracer does not cross the process boundary — and
+    ship the serialised trees back as the result tuple's last element, where
+    the parent :meth:`~repro.obs.trace.Tracer.adopt`\\ s them.  Thread and
+    serial paths share the parent's tracer directly and ship ``None``.
+    """
+    (index, factory, library, point, margin_fraction, use_cache, scheduling,
+     trace) = payload
     start = time.perf_counter()
+    scope = _obs_tracing() if trace else nullcontext(None)
     try:
-        entry = evaluate_point(factory, library, point,
-                               margin_fraction=margin_fraction,
-                               use_cache=use_cache,
-                               scheduling=scheduling)
-        return (index, "ok", entry, None, None, time.perf_counter() - start)
+        with scope as tracer:
+            entry = evaluate_point(factory, library, point,
+                                   margin_fraction=margin_fraction,
+                                   use_cache=use_cache,
+                                   scheduling=scheduling)
+        spans = tracer.export() if tracer is not None else None
+        return (index, "ok", entry, None, None,
+                time.perf_counter() - start, spans)
     except Exception as exc:  # noqa: BLE001 — per-point isolation is the point
         return (index, "error", None, f"{type(exc).__name__}: {exc}",
-                traceback.format_exc(), time.perf_counter() - start)
+                traceback.format_exc(), time.perf_counter() - start, None)
 
 
 def _evaluate_in_session(session: SweepSession, index: int, point: DesignPoint):
@@ -152,15 +179,18 @@ def _evaluate_in_session(session: SweepSession, index: int, point: DesignPoint):
 
     Same result tuple, same never-raise isolation; the session keeps its
     interned designs and artifact bundles warm across the whole sweep,
-    which is what the pool paths cannot share between workers.
+    which is what the pool paths cannot share between workers.  Spans (when
+    tracing is on) land on the parent's tracer directly, so the shipped
+    span slot is always ``None`` here.
     """
     start = time.perf_counter()
     try:
         entry = session.evaluate(point)
-        return (index, "ok", entry, None, None, time.perf_counter() - start)
+        return (index, "ok", entry, None, None,
+                time.perf_counter() - start, None)
     except Exception as exc:  # noqa: BLE001 — per-point isolation is the point
         return (index, "error", None, f"{type(exc).__name__}: {exc}",
-                traceback.format_exc(), time.perf_counter() - start)
+                traceback.format_exc(), time.perf_counter() - start, None)
 
 
 class DSEEngine:
@@ -201,6 +231,10 @@ class DSEEngine:
         sufficient).
     progress:
         Optional callable receiving a :class:`ProgressEvent` per point.
+        Exceptions it raises are isolated: the engine records them (a
+        ``RuntimeWarning`` on the first, a count on
+        :attr:`EngineResult.progress_errors`) and the sweep continues — an
+        observer can never abort or corrupt a run.
     use_analysis_cache:
         Forwarded to :func:`repro.flows.dse.evaluate_point` as ``use_cache``
         (default True).  ``False`` makes every point compute a private
@@ -253,6 +287,9 @@ class DSEEngine:
         self.use_analysis_cache = use_analysis_cache
         self.session = session
         self.scheduling = scheduling
+        self._progress_error_count = 0
+        self._progress_last_error: Optional[str] = None
+        self._progress_warned = False
 
     # -- checkpointing -----------------------------------------------------------
 
@@ -347,9 +384,23 @@ class DSEEngine:
 
     def _emit(self, point: DesignPoint, status: str, done: int, total: int,
               error: Optional[str] = None) -> None:
-        if self.progress is not None:
+        if self.progress is None:
+            return
+        try:
             self.progress(ProgressEvent(point=point, status=status, done=done,
                                         total=total, error=error))
+        except Exception as exc:  # noqa: BLE001 — observers must not kill a sweep
+            self._progress_error_count += 1
+            self._progress_last_error = f"{type(exc).__name__}: {exc}"
+            _PROGRESS_ERRORS.inc()
+            if not self._progress_warned:
+                self._progress_warned = True
+                warnings.warn(
+                    f"progress callback raised {self._progress_last_error}; "
+                    "the sweep continues and further observer errors in this "
+                    "run are counted silently (see "
+                    "EngineResult.progress_errors)",
+                    RuntimeWarning, stacklevel=3)
 
     def _resolve_executor(self, pending: int) -> Tuple[str, int]:
         workers = self.max_workers or os.cpu_count() or 1
@@ -378,8 +429,12 @@ class DSEEngine:
         return "thread", workers
 
     def _outcome_from_result(self, result, records) -> PointOutcome:
-        index, status, entry, error, tb, seconds = result
+        index, status, entry, error, tb, seconds, spans = result
         point = self.points[index]
+        if spans:
+            tracer = _active_tracer()
+            if tracer is not None:
+                tracer.adopt(spans, track=f"worker:{point.name}")
         if status == "ok":
             outcome = PointOutcome(point=point, status="ok", entry=entry,
                                    metrics=entry.metrics(),
@@ -406,6 +461,9 @@ class DSEEngine:
         outcomes: Dict[int, PointOutcome] = {}
         records = self._load_checkpoint()
         done = 0
+        self._progress_error_count = 0
+        self._progress_last_error: Optional[str] = None
+        self._progress_warned = False
 
         for index, point in enumerate(self.points):
             known = self.precomputed.get(point.name)
@@ -428,11 +486,15 @@ class DSEEngine:
 
         pending = [(i, p) for i, p in enumerate(self.points) if i not in outcomes]
         mode, workers = self._resolve_executor(len(pending))
+        # Pool processes cannot see the parent's tracer; ask them to record
+        # locally and ship their trees back.  Threads (and serial) share the
+        # parent's tracer directly — per-thread stacks keep them untangled.
+        trace_workers = mode == "process" and _tracing_enabled()
 
         def payload(index: int, point: DesignPoint):
             return (index, self.design_factory, self.library, point,
                     self.margin_fraction, self.use_analysis_cache,
-                    self.scheduling)
+                    self.scheduling, trace_workers)
 
         if mode == "serial" or not pending:
             session = self.session if self.session is not None else SweepSession(
@@ -468,6 +530,8 @@ class DSEEngine:
             wall_time_seconds=time.perf_counter() - start,
             executor=mode if pending else "restored",
             max_workers=workers if pending else 0,
+            progress_errors=self._progress_error_count,
+            progress_last_error=self._progress_last_error,
         )
 
 

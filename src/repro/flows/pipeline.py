@@ -44,6 +44,7 @@ from typing import Dict, Optional
 
 from repro.core.analysis_cache import AnalysisCache, default_cache
 from repro.core.latency import LatencyAnalysis
+from repro.obs.trace import span as _obs_span
 from repro.core.opspan import OperationSpans
 from repro.core.timed_dfg import TimedDFG, build_timed_dfg
 from repro.ir.design import Design
@@ -124,18 +125,24 @@ def finalize_flow(
     by the benchmark smoke job; wall-clock fields never enter
     ``DSEEntry.metrics()``).
     """
-    datapath = build_datapath(design, library, schedule, pipeline_ii=pipeline_ii)
+    with _obs_span("flow.bind", flow=flow, design=design.name):
+        datapath = build_datapath(design, library, schedule,
+                                  pipeline_ii=pipeline_ii)
     if area_recovery:
-        recovery_start = time.perf_counter()
-        recovery = recover_area(datapath, register_margin=register_margin)
-        details["area_recovery_seconds"] = time.perf_counter() - recovery_start
-        datapath.refresh_interconnect()
+        with _obs_span("flow.area_recovery", flow=flow, design=design.name):
+            recovery_start = time.perf_counter()
+            recovery = recover_area(datapath, register_margin=register_margin)
+            details["area_recovery_seconds"] = \
+                time.perf_counter() - recovery_start
+            datapath.refresh_interconnect()
         details["area_recovery_downgrades"] = recovery.downgrades
         details["area_recovery_saved"] = recovery.area_saved
 
-    timing = analyze_state_timing(datapath, register_margin=register_margin)
-    area = area_report(datapath)
-    power = power_report(datapath)
+    with _obs_span("flow.timing", flow=flow, design=design.name):
+        timing = analyze_state_timing(datapath, register_margin=register_margin)
+    with _obs_span("flow.report", flow=flow, design=design.name):
+        area = area_report(datapath)
+        power = power_report(datapath)
     runtime = time.perf_counter() - start_time
 
     return FlowResult(

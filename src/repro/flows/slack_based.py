@@ -31,6 +31,7 @@ from repro.core.slack_scheduler import SlackScheduler
 from repro.core.timed_dfg import build_cyclic_timed_dfg
 from repro.flows.pipeline import PointArtifacts, finalize_flow
 from repro.flows.result import FlowResult
+from repro.obs.trace import span as _obs_span
 from repro.sched.modulo_scheduler import compute_mii, try_modulo_schedule
 from repro.sched.priorities import combined_priority
 from repro.sched.relaxation import schedule_with_relaxation
@@ -89,7 +90,9 @@ def slack_based_flow(
         artifacts=artifacts,
     )
     scheduling_start = time.perf_counter()
-    result = scheduler.run()
+    with _obs_span("flow.schedule", flow="slack-based", design=design.name,
+                   scheduling="block"):
+        result = scheduler.run()
     scheduling_seconds = time.perf_counter() - scheduling_start
 
     details: Dict[str, object] = {
@@ -160,14 +163,17 @@ def _pipelined_slack_flow(
     variants = dict(initial_budget.variants)
 
     scheduling_start = time.perf_counter()
-    schedule, allocation, final_variants, relax_log = schedule_with_relaxation(
-        design, library, clock_period, variants,
-        spans=spans, latency=latency,
-        priority=combined_priority(initial_budget.timing, spans),
-        pipeline_ii=target_ii,
-        timing_margin=timing_margin,
-        scheduler=try_modulo_schedule,
-    )
+    with _obs_span("flow.schedule", flow="slack-based", design=design.name,
+                   scheduling="pipeline"):
+        schedule, allocation, final_variants, relax_log = \
+            schedule_with_relaxation(
+                design, library, clock_period, variants,
+                spans=spans, latency=latency,
+                priority=combined_priority(initial_budget.timing, spans),
+                pipeline_ii=target_ii,
+                timing_margin=timing_margin,
+                scheduler=try_modulo_schedule,
+            )
     scheduling_seconds = time.perf_counter() - scheduling_start
     achieved_ii = relax_log.final_ii or target_ii
 

@@ -54,6 +54,16 @@ from repro.flows.dse import DesignPoint, DSEEntry, DSEResult
 from repro.flows.pipeline import PointArtifacts
 from repro.flows.slack_based import slack_based_flow
 from repro.flows.sweep.ordering import sweep_plan
+from repro.obs.metrics import counter as _obs_counter
+from repro.obs.trace import span as _obs_span
+
+#: Registry twins of the :class:`SweepStats` counters — the ad-hoc per-session
+#: stats stay the public accessor; these accumulate process-wide so a metrics
+#: snapshot sees every session's reuse behaviour without holding the objects.
+_POINTS = _obs_counter("sweep.points_evaluated")
+_FULL = _obs_counter("sweep.full_evaluations")
+_DELTA = _obs_counter("sweep.delta_points")
+_INTERNED = _obs_counter("sweep.interned_reuses")
 
 
 @dataclass
@@ -178,11 +188,14 @@ class SweepSession:
             self._designs[key] = design = probe
         else:
             self.stats.interned_reuses += 1
+            _INTERNED.inc()
         if fingerprint in self._structures:
             self.stats.delta_points += 1
+            _DELTA.inc()
         else:
             self._structures.add(fingerprint)
             self.stats.full_evaluations += 1
+            _FULL.inc()
         return design, fingerprint
 
     def _artifacts(self, design: Design, fingerprint: str) -> PointArtifacts:
@@ -202,20 +215,24 @@ class SweepSession:
 
     def evaluate(self, point: DesignPoint) -> DSEEntry:
         """Run both flows on one point, reusing everything the session holds."""
-        design, fingerprint = self._intern(point)
-        artifacts = self._artifacts(design, fingerprint)
-        conventional = conventional_flow(
-            design, self.library, clock_period=point.clock_period,
-            pipeline_ii=point.pipeline_ii, artifacts=artifacts,
-            scheduling=self.scheduling,
-        )
-        slack = slack_based_flow(
-            design, self.library, clock_period=point.clock_period,
-            pipeline_ii=point.pipeline_ii,
-            margin_fraction=self.margin_fraction, artifacts=artifacts,
-            scheduling=self.scheduling,
-        )
+        with _obs_span("sweep.point", point=point.name,
+                       latency=point.latency, pipeline_ii=point.pipeline_ii,
+                       clock_period=point.clock_period):
+            design, fingerprint = self._intern(point)
+            artifacts = self._artifacts(design, fingerprint)
+            conventional = conventional_flow(
+                design, self.library, clock_period=point.clock_period,
+                pipeline_ii=point.pipeline_ii, artifacts=artifacts,
+                scheduling=self.scheduling,
+            )
+            slack = slack_based_flow(
+                design, self.library, clock_period=point.clock_period,
+                pipeline_ii=point.pipeline_ii,
+                margin_fraction=self.margin_fraction, artifacts=artifacts,
+                scheduling=self.scheduling,
+            )
         self.stats.points_evaluated += 1
+        _POINTS.inc()
         self._refresh_delta_counters()
         return DSEEntry(point=point, conventional=conventional, slack_based=slack)
 
@@ -230,8 +247,10 @@ class SweepSession:
         """
         start = time.perf_counter()
         entries: List[Optional[DSEEntry]] = [None] * len(points)
-        for index in sweep_plan(points):
-            entries[index] = self.evaluate(points[index])
+        with _obs_span("sweep.run", points=len(points),
+                       scheduling=self.scheduling):
+            for index in sweep_plan(points):
+                entries[index] = self.evaluate(points[index])
         return DSEResult(entries=list(entries),
                          wall_time_seconds=time.perf_counter() - start)
 

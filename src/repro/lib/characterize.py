@@ -42,6 +42,21 @@ from repro.lib.resource import ResourceClass, ResourceVariant
 _CLASS_CACHE: Dict[Tuple[OpKind, int, "KindModel", int, float, float],
                    ResourceClass] = {}
 
+#: Memo hit/miss tallies, observation only (surfaced through
+#: :func:`characterization_cache_info` and the ``characterization`` probe of
+#: :mod:`repro.obs.metrics`).
+_CACHE_HITS = 0
+_CACHE_MISSES = 0
+
+
+def characterization_cache_info() -> Dict[str, int]:
+    """Hit/miss/size counters for the characterisation memo table."""
+    return {
+        "hits": _CACHE_HITS,
+        "misses": _CACHE_MISSES,
+        "size": len(_CLASS_CACHE),
+    }
+
 
 @dataclass(frozen=True)
 class KindModel:
@@ -84,10 +99,13 @@ def characterize_class(
     if grades < 1:
         raise LibraryError("a resource class needs at least one grade")
 
+    global _CACHE_HITS, _CACHE_MISSES
     cache_key = (kind, width, model, grades, energy_factor, leakage_factor)
     cached = _CLASS_CACHE.get(cache_key)
     if cached is not None:
+        _CACHE_HITS += 1
         return cached
+    _CACHE_MISSES += 1
 
     d_fast = model.fast_delay(width)
     d_slow = model.slow_delay(width)

@@ -27,10 +27,18 @@ from repro.lib.library import Library
 from repro.lib.resource import ResourceVariant
 from repro.core.latency import LatencyAnalysis
 from repro.core.opspan import OperationSpans
+from repro.obs.metrics import counter as _obs_counter
 from repro.sched.allocation import Allocation, minimal_allocation, resource_class_key
 from repro.sched.list_scheduler import SchedulingAttempt, try_list_schedule
 from repro.sched.priorities import PriorityFn
 from repro.sched.schedule import Schedule
+
+#: Registry twins of the :class:`RelaxationLog` tallies (observation only;
+#: the per-run log stays the public accessor — see repro.obs).
+_ATTEMPTS = _obs_counter("relaxation.attempts")
+_II_BUMPS = _obs_counter("relaxation.ii_bumps")
+_RESOURCES_ADDED = _obs_counter("relaxation.resources_added")
+_UPGRADES = _obs_counter("relaxation.upgrades")
 
 
 @dataclass
@@ -94,6 +102,7 @@ def upgrade_for_timing(
     _, _, name, faster = best
     variant_map[name] = faster
     log.upgrades.append(name)
+    _UPGRADES.inc()
     log.note(f"upgraded {name} to {faster.name} to fix a timing failure on "
              f"{failure.op}")
     return True
@@ -144,6 +153,7 @@ def schedule_with_relaxation(
 
     for _ in range(max_attempts):
         log.attempts += 1
+        _ATTEMPTS.inc()
         attempt: SchedulingAttempt = scheduler(
             design, library, clock_period, variants, allocation,
             spans=spans, latency=latency, priority=priority,
@@ -177,6 +187,7 @@ def schedule_with_relaxation(
                 )
             current_ii = bumped
             log.ii_bumps.append(bumped)
+            _II_BUMPS.inc()
             log.note(f"raised the initiation interval to {bumped} after a "
                      f"recurrence failure on {failure.op}")
             if not pinned_allocation:
@@ -190,6 +201,7 @@ def schedule_with_relaxation(
         if failure.reason == "resource" and failure.class_key is not None:
             allocation.add(failure.class_key)
             log.resources_added.append(failure.class_key)
+            _RESOURCES_ADDED.inc()
             log.note(f"added one {failure.class_key[0]}/{failure.class_key[1]} "
                      f"instance for {failure.op}")
             continue
@@ -215,6 +227,7 @@ def schedule_with_relaxation(
                 # of that bottleneck class lets it schedule earlier.
                 allocation.add(bottleneck)
                 log.resources_added.append(bottleneck)
+                _RESOURCES_ADDED.inc()
                 log.note(f"added one {bottleneck[0]}/{bottleneck[1]} "
                          f"instance after unrepairable timing failure on "
                          f"{failure.op}")
@@ -227,6 +240,7 @@ def schedule_with_relaxation(
         if failure.reason == "unreachable" and failure.class_key is not None:
             allocation.add(failure.class_key)
             log.resources_added.append(failure.class_key)
+            _RESOURCES_ADDED.inc()
             log.note(f"added one {failure.class_key[0]}/{failure.class_key[1]} "
                      f"instance after unreachable failure on {failure.op}")
             continue

@@ -78,6 +78,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="oracle-evaluation budget per shrink (default 200)")
     run.add_argument("--max-segments", type=int, default=None,
                      help="cap generated scenarios at this many segments")
+    run.add_argument("--oracle-timings", default=None, metavar="PATH",
+                     help="write a per-oracle JSON report (checked counts, "
+                          "wall-time summaries from the repro.obs registry, "
+                          "pass/fail/crash tallies) — the nightly-CI "
+                          "artifact")
     run.add_argument("--list-oracles", action="store_true",
                      help="print the oracle registry and exit")
     run.add_argument("--quiet", action="store_true",
@@ -135,6 +140,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     for name, count in sorted(report.checked_per_oracle.items()):
         print(f"  {name}: {count} checked")
     print(f"scenario digest: {report.scenario_digest}")
+    if args.oracle_timings:
+        _write_oracle_timings(args.oracle_timings, report)
+        print(f"oracle timings: {args.oracle_timings}")
     if report.ok:
         print("no oracle violations")
         return 0
@@ -146,6 +154,41 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if corpus is not None:
         print(f"corpus: {corpus.path} ({len(corpus)} record(s))")
     return 1
+
+
+def _write_oracle_timings(path: str, report) -> None:
+    """The nightly artifact: per-oracle wall-time + outcome JSON report.
+
+    Checked counts come from the fuzz report itself; the timing summaries
+    and the pass/fail/crash tallies come from the :mod:`repro.obs.metrics`
+    registry (the ``oracle.<name>.seconds`` histograms populated by
+    :func:`~repro.verify.runner.run_oracle_guarded`).
+    """
+    from repro.obs.metrics import snapshot
+
+    snap = snapshot()
+    counters = snap["counters"]
+    histograms = snap["histograms"]
+    payload = {
+        "seed": report.seed,
+        "iterations": report.iterations,
+        "wall_time_seconds": report.wall_time_seconds,
+        "outcomes": {
+            "pass": counters.get("oracle.pass", 0),
+            "fail": counters.get("oracle.fail", 0),
+            "crash": counters.get("oracle.crash", 0),
+        },
+        "oracles": {
+            name: {
+                "checked": count,
+                "seconds": histograms.get(f"oracle.{name}.seconds", {}),
+            }
+            for name, count in sorted(report.checked_per_oracle.items())
+        },
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
 
 
 def _print_failure(failure: FuzzFailure) -> None:

@@ -24,6 +24,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.lib.library import Library
+from repro.obs.metrics import counter as _obs_counter, histogram as _obs_histogram
+from repro.obs.trace import span as _obs_span
 from repro.verify.corpus import Corpus
 from repro.verify.oracles import (
     ORACLES,
@@ -34,6 +36,13 @@ from repro.verify.oracles import (
 )
 from repro.verify.scenarios import ScenarioProfile, ScenarioSpec, scenario_stream
 from repro.verify.shrink import ShrinkResult, shrink_spec
+
+#: Oracle telemetry (observation only; see repro.obs).  Pass/fail/crash are
+#: process-wide counters; per-oracle wall time lands in an
+#: ``oracle.<name>.seconds`` histogram created on first use.
+_ORACLE_PASS = _obs_counter("oracle.pass")
+_ORACLE_FAIL = _obs_counter("oracle.fail")
+_ORACLE_CRASH = _obs_counter("oracle.crash")
 
 
 def run_oracle_guarded(oracle: Oracle, spec: ScenarioSpec,
@@ -47,13 +56,25 @@ def run_oracle_guarded(oracle: Oracle, spec: ScenarioSpec,
     recorded and shrunk like any other violation instead of killing the run
     and losing the seed.
     """
-    try:
-        return oracle.run(spec, library)
-    except Exception as exc:  # noqa: BLE001 — crash capture is the point
-        return OracleOutcome(
-            oracle=oracle.name, ok=False,
-            details=f"crash: {type(exc).__name__}: {exc}\n"
-                    f"{traceback.format_exc(limit=8)}")
+    start = time.perf_counter()
+    with _obs_span("oracle.run", oracle=oracle.name) as obs:
+        try:
+            outcome = oracle.run(spec, library)
+            if outcome.ok:
+                _ORACLE_PASS.inc()
+            else:
+                _ORACLE_FAIL.inc()
+                obs.set(ok=False)
+        except Exception as exc:  # noqa: BLE001 — crash capture is the point
+            _ORACLE_CRASH.inc()
+            obs.set(ok=False, crash=type(exc).__name__)
+            outcome = OracleOutcome(
+                oracle=oracle.name, ok=False,
+                details=f"crash: {type(exc).__name__}: {exc}\n"
+                        f"{traceback.format_exc(limit=8)}")
+    _obs_histogram(f"oracle.{oracle.name}.seconds").observe(
+        time.perf_counter() - start)
+    return outcome
 
 
 @dataclass

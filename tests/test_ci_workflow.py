@@ -101,6 +101,34 @@ def test_nightly_fuzz_job_budget_seed_and_artifact(workflow):
     assert all(step.get("if") == "always()" for step in uploads)
 
 
+def test_nightly_fuzz_uploads_per_oracle_timing_report(workflow):
+    """The nightly run must record where its 10-minute budget goes: the
+    --oracle-timings report (per-oracle check counts and latency summaries)
+    is written by the fuzz run and uploaded even when the run fails."""
+    run_text = _run_text(workflow, "fuzz-nightly")
+    assert "--oracle-timings oracle-timings.json" in run_text
+    uploads = [step for step in _steps(workflow, "fuzz-nightly")
+               if str(step.get("uses", "")).startswith("actions/upload-artifact")]
+    timing = [step for step in uploads
+              if "oracle-timings" in str(step.get("with", {}).get("path", ""))]
+    assert timing, "per-oracle timing artifact upload missing"
+    assert all(step.get("if") == "always()" for step in timing)
+
+
+def test_bench_job_uploads_a_perfetto_trace(workflow):
+    """bench-smoke must record a traced Table-4 mini sweep through the
+    profile CLI and upload the Chrome trace so any CI run can be inspected
+    phase-by-phase in Perfetto."""
+    run_text = _run_text(workflow, "bench-smoke")
+    assert "repro.cli profile sweep" in run_text
+    assert "--chrome-out table4-trace.json" in run_text
+    uploads = [step for step in _steps(workflow, "bench-smoke")
+               if str(step.get("uses", "")).startswith("actions/upload-artifact")]
+    trace = [step for step in uploads
+             if "table4-trace" in str(step.get("with", {}).get("path", ""))]
+    assert trace, "Chrome trace artifact upload missing"
+
+
 def test_coverage_gate_is_wired_and_pinned(workflow):
     """The coverage job must measure src/repro over tests/ only and fail
     under a pinned threshold — and the threshold cannot be quietly dropped

@@ -73,3 +73,81 @@ def test_sweep_rejects_bad_ii_range(capsys):
     assert "--ii expects LO:HI" in capsys.readouterr().err
     assert main(["sweep", "--ii", "5:2"]) == 2
     assert "LO <= HI" in capsys.readouterr().err
+
+
+# -- observability: repro profile and --trace-out ----------------------------------
+
+
+def test_usage_mentions_profile_and_trace_out(capsys):
+    main([])
+    out = capsys.readouterr().out
+    assert "profile" in out and "--trace-out" in out
+
+
+def test_profile_sweep_prints_phase_breakdown(tmp_path, capsys):
+    report_path = tmp_path / "report.json"
+    jsonl_path = tmp_path / "spans.jsonl"
+    chrome_path = tmp_path / "trace.json"
+    code = main(["profile", "sweep", "--rows", "1", "--latencies", "6:7",
+                 "--report-json", str(report_path),
+                 "--jsonl-out", str(jsonl_path),
+                 "--chrome-out", str(chrome_path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Phase profile: repro sweep" in out
+    assert "schedule" in out and "coverage" in out
+    report = json.loads(report_path.read_text())
+    assert report["span_count"] > 0
+    # Phase totals sum to the traced time within the 5 %-of-wall bar.
+    assert abs(sum(report["phases"].values()) - report["traced_seconds"]) \
+        <= 0.05 * report["wall_seconds"]
+    assert jsonl_path.read_text().strip()
+    trace = json.loads(chrome_path.read_text())
+    assert any(event["ph"] == "X" for event in trace["traceEvents"])
+
+
+def test_profile_forwards_subcommand_flags_unabbreviated(tmp_path, capsys):
+    # --json belongs to `repro sweep`; allow_abbrev=False keeps the profile
+    # parser's --jsonl-out from capturing it.
+    metrics_path = tmp_path / "metrics.json"
+    code = main(["profile", "sweep", "--rows", "1", "--latencies", "6",
+                 "--json", str(metrics_path)])
+    assert code == 0
+    assert len(json.loads(metrics_path.read_text())) == 1
+
+
+def test_trace_out_records_spans_for_any_command(tmp_path, capsys):
+    from repro.obs.export import load_spans_jsonl
+
+    trace_path = tmp_path / "spans.jsonl"
+    code = main(["sweep", "--rows", "1", "--latencies", "6:7",
+                 "--trace-out", str(trace_path)])
+    assert code == 0
+    assert f"wrote {trace_path}" in capsys.readouterr().out
+    roots = load_spans_jsonl(str(trace_path))
+    names = {span.name for root in roots for span in root.walk()}
+    assert "sweep.run" in names and "flow.schedule" in names
+
+
+def test_trace_out_jsonl_converts_to_chrome_byte_stably(tmp_path, capsys):
+    from repro.obs.export import jsonl_to_chrome_trace
+
+    trace_path = tmp_path / "spans.jsonl"
+    assert main(["sweep", "--rows", "1", "--latencies", "6",
+                 f"--trace-out={trace_path}"]) == 0
+    first = tmp_path / "a.json"
+    second = tmp_path / "b.json"
+    assert jsonl_to_chrome_trace(str(trace_path), str(first)) > 0
+    jsonl_to_chrome_trace(str(trace_path), str(second))
+    assert first.read_bytes() == second.read_bytes()
+
+
+def test_trace_out_requires_a_value(capsys):
+    assert main(["sweep", "--trace-out"]) == 2
+    assert "--trace-out expects a PATH" in capsys.readouterr().err
+
+
+def test_trace_out_with_unknown_command_still_fails(capsys, tmp_path):
+    trace_path = tmp_path / "spans.jsonl"
+    assert main(["frobnicate", "--trace-out", str(trace_path)]) == 2
+    assert not trace_path.exists()

@@ -265,6 +265,67 @@ def test_progress_callback_sees_every_point(library):
     assert all(event.status == "ok" for event in events)
 
 
+def test_progress_callback_exceptions_do_not_abort_the_sweep(library):
+    """Regression: a raising progress observer used to propagate out of the
+    engine loop and kill the sweep.  Observer failures must be isolated."""
+    events = []
+
+    def flaky_observer(event):
+        events.append(event.point.name)
+        if event.point.name == "P1":
+            raise RuntimeError("observer fell over")
+
+    with pytest.warns(RuntimeWarning, match="observer fell over"):
+        result = DSEEngine(IDCTPointFactory(rows=1), library, sweep_points(),
+                           executor="serial", progress=flaky_observer).run()
+    # Every point was still evaluated and reported to the observer.
+    assert [o.status for o in result.outcomes] == ["ok"] * 3
+    assert events == ["P0", "P1", "P2"]
+    assert result.progress_errors == 1
+    assert "RuntimeError: observer fell over" == result.progress_last_error
+
+
+def test_progress_callback_warns_once_for_repeated_failures(library):
+    def always_raises(event):
+        raise ValueError("every time")
+
+    with pytest.warns(RuntimeWarning) as warned:
+        result = DSEEngine(IDCTPointFactory(rows=1), library, sweep_points(),
+                           executor="serial", progress=always_raises).run()
+    runtime = [w for w in warned if issubclass(w.category, RuntimeWarning)]
+    assert len(runtime) == 1  # one warning, not one per point
+    assert result.progress_errors == 3
+    assert result.progress_last_error == "ValueError: every time"
+    assert len(result.entries) == 3
+
+
+def test_healthy_progress_reports_zero_errors(library):
+    result = DSEEngine(IDCTPointFactory(rows=1), library, sweep_points(),
+                       executor="serial", progress=lambda event: None).run()
+    assert result.progress_errors == 0
+    assert result.progress_last_error is None
+
+
+def test_process_workers_ship_spans_back_to_the_parent_tracer(library):
+    from repro.obs.trace import tracing
+
+    points = sweep_points()[:2]
+    with tracing() as tracer:
+        result = DSEEngine(IDCTPointFactory(rows=1), library, points,
+                           executor="process", max_workers=2).run()
+    assert not result.errors
+    adopted = [root for root in tracer.roots
+               if root.track.startswith("worker:")]
+    assert {root.track for root in adopted} == {"worker:P0", "worker:P1"}
+    # Worker trees carry the full per-point phase structure.
+    names = {span.name for root in adopted for span in root.walk()}
+    assert "flow.schedule" in names
+    # Tracing observes; it must not perturb the sweep result.
+    untraced = DSEEngine(IDCTPointFactory(rows=1), library, points,
+                         executor="process", max_workers=2).run()
+    assert result.metrics() == untraced.metrics()
+
+
 def test_duplicate_point_names_are_rejected(library):
     points = [DesignPoint(name="P", latency=8), DesignPoint(name="P", latency=12)]
     with pytest.raises(ReproError, match="unique"):

@@ -1,0 +1,112 @@
+"""Tests of span export: JSONL round-trips and Chrome trace conversion."""
+
+import json
+
+from repro.obs.export import (
+    chrome_trace_events,
+    jsonl_to_chrome_trace,
+    load_spans_jsonl,
+    records_to_spans,
+    span_records,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+from repro.obs.trace import Span
+
+
+def forest():
+    root = Span("sweep.point", attrs={"design": "idct"}, start=10.0,
+                end=11.0, track="main")
+    child = Span("flow.schedule", attrs={"latency": 8}, start=10.1,
+                 end=10.7, track="main")
+    grand = Span("delta.seed_kernels", start=10.2, end=10.4, track="main")
+    child.children.append(grand)
+    root.children.append(child)
+    other = Span("sweep.point", start=12.0, end=12.5, track="worker:P1")
+    return [root, other]
+
+
+def test_span_records_preorder_ids_and_parents():
+    records = span_records(forest())
+    assert [r["id"] for r in records] == [0, 1, 2, 3]
+    assert [r["parent"] for r in records] == [None, 0, 1, None]
+    assert records[1]["attrs"] == {"latency": 8}
+
+
+def test_non_json_attr_values_are_reprd():
+    span = Span("s", attrs={"obj": object(), "n": 1}, start=0.0, end=1.0)
+    (record,) = span_records([span])
+    assert record["attrs"]["n"] == 1
+    assert record["attrs"]["obj"].startswith("<object object")
+
+
+def test_records_roundtrip_rebuilds_identical_trees():
+    roots = forest()
+    rebuilt = records_to_spans(span_records(roots))
+    assert [r.to_dict() for r in rebuilt] == [r.to_dict() for r in roots]
+
+
+def test_unknown_parent_grafts_as_root():
+    records = [{"id": 5, "parent": 3, "name": "orphan",
+                "start": 0.0, "end": 1.0, "track": "main", "attrs": {}}]
+    (root,) = records_to_spans(records)
+    assert root.name == "orphan"
+
+
+def test_jsonl_write_load_roundtrip(tmp_path):
+    path = tmp_path / "spans.jsonl"
+    roots = forest()
+    assert write_spans_jsonl(roots, str(path)) == 4
+    assert len(path.read_text().splitlines()) == 4
+    loaded = load_spans_jsonl(str(path))
+    assert [r.to_dict() for r in loaded] == [r.to_dict() for r in roots]
+
+
+def test_jsonl_load_tolerates_corrupt_lines(tmp_path):
+    path = tmp_path / "spans.jsonl"
+    write_spans_jsonl(forest(), str(path))
+    lines = path.read_text().splitlines()
+    lines[1] = "{not json"  # corrupt the flow.schedule record
+    path.write_text("\n".join(lines) + "\n")
+    loaded = load_spans_jsonl(str(path))
+    # The corrupt span is gone; its child is grafted in as a root.
+    names = sorted(r.name for r in loaded)
+    assert names == ["delta.seed_kernels", "sweep.point", "sweep.point"]
+
+
+def test_chrome_events_rebase_to_integer_microseconds():
+    events = chrome_trace_events(forest())
+    complete = [e for e in events if e["ph"] == "X"]
+    meta = [e for e in events if e["ph"] == "M"]
+    assert len(complete) == 4 and len(meta) == 2
+    # Rebased to the earliest start (10.0 s) and expressed in integer µs.
+    first = complete[0]
+    assert first["ts"] == 0 and first["dur"] == 1_000_000
+    assert all(isinstance(e["ts"], int) and isinstance(e["dur"], int)
+               for e in complete)
+    # Distinct tracks get distinct tids, each named by a metadata event.
+    tids = {e["tid"] for e in complete}
+    assert len(tids) == 2
+    assert {e["args"]["name"] for e in meta} == {"main", "worker:P1"}
+
+
+def test_chrome_events_empty_forest():
+    assert chrome_trace_events([]) == []
+
+
+def test_write_chrome_trace_payload_shape(tmp_path):
+    path = tmp_path / "trace.json"
+    assert write_chrome_trace(forest(), str(path)) == 6
+    payload = json.loads(path.read_text())
+    assert payload["displayTimeUnit"] == "ms"
+    assert len(payload["traceEvents"]) == 6
+
+
+def test_jsonl_to_chrome_conversion_is_byte_stable(tmp_path):
+    jsonl = tmp_path / "spans.jsonl"
+    write_spans_jsonl(forest(), str(jsonl))
+    first = tmp_path / "a.json"
+    second = tmp_path / "b.json"
+    jsonl_to_chrome_trace(str(jsonl), str(first))
+    jsonl_to_chrome_trace(str(jsonl), str(second))
+    assert first.read_bytes() == second.read_bytes()

@@ -1,0 +1,209 @@
+"""Tests of the metrics registry and the adopted ad-hoc counters."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    cache_stats,
+    counter,
+    histogram,
+    registry,
+    snapshot,
+)
+
+
+# -- metric primitives -------------------------------------------------------------
+
+
+def test_counter_gauge_histogram_semantics():
+    reg = MetricsRegistry()
+    c = reg.counter("c")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    g = reg.gauge("g")
+    g.set(2.5)
+    assert g.value == 2.5
+    h = reg.histogram("h")
+    for value in (1.0, 3.0, 2.0):
+        h.observe(value)
+    assert h.summary() == {"count": 3, "total": 6.0, "mean": 2.0,
+                           "min": 1.0, "max": 3.0}
+
+
+def test_creation_is_idempotent_and_shared():
+    reg = MetricsRegistry()
+    assert reg.counter("x") is reg.counter("x")
+    assert reg.gauge("y") is reg.gauge("y")
+    assert reg.histogram("z") is reg.histogram("z")
+    assert isinstance(reg.counter("x"), Counter)
+    assert isinstance(reg.gauge("y"), Gauge)
+    assert isinstance(reg.histogram("z"), Histogram)
+
+
+def test_reset_zeroes_owned_metrics():
+    reg = MetricsRegistry()
+    reg.counter("c").inc(3)
+    reg.histogram("h").observe(1.0)
+    reg.reset()
+    assert reg.counter("c").value == 0
+    assert reg.histogram("h").summary()["count"] == 0
+
+
+def test_snapshot_is_json_safe_and_sorted():
+    import json
+
+    reg = MetricsRegistry()
+    reg.counter("b").inc()
+    reg.counter("a").inc(2)
+    reg.gauge("g").set(1.0)
+    reg.histogram("h").observe(0.5)
+    snap = reg.snapshot()
+    json.dumps(snap)  # JSON-safe by construction
+    assert list(snap["counters"]) == ["a", "b"]
+    assert snap["counters"]["a"] == 2
+    assert snap["histograms"]["h"]["count"] == 1
+
+
+def test_probe_errors_are_captured_not_raised():
+    reg = MetricsRegistry()
+
+    def bad_probe():
+        raise RuntimeError("probe exploded")
+
+    reg.register_probe("bad", bad_probe)
+    reg.register_probe("good", lambda: {"value": 7})
+    snap = reg.snapshot()
+    assert snap["probes"]["good"] == {"value": 7}
+    assert "RuntimeError" in snap["probes"]["bad"]["error"]
+
+
+# -- process-wide registry + builtin probes ----------------------------------------
+
+
+def test_module_level_registry_is_shared():
+    counter("test.shared").inc()
+    assert registry().counter("test.shared").value >= 1
+    assert counter("test.shared") is registry().counter("test.shared")
+
+
+def test_snapshot_includes_builtin_cache_probes():
+    snap = snapshot()
+    assert "analysis_cache" in snap["probes"]
+    assert "characterization" in snap["probes"]
+
+
+def test_cache_stats_covers_every_cache_layer(library):
+    from repro.flows.dse import DesignPoint, evaluate_point
+    from repro.workloads import IDCTPointFactory
+
+    point = DesignPoint(name="CS", latency=8, clock_period=1500.0)
+    evaluate_point(IDCTPointFactory(rows=1), library, point)
+
+    stats = cache_stats()
+    assert set(stats) == {"analysis_cache", "delta_seeds", "characterization"}
+    # The analysis-cache probe pulls the public cache_info() tables.
+    for table in ("artifacts", "spans", "sequential_slack"):
+        assert {"hits", "misses"} <= set(stats["analysis_cache"][table])
+    assert {"hits", "misses", "inserts"} <= set(stats["delta_seeds"])
+    info = stats["characterization"]
+    assert info["size"] >= 1
+    # Building the tsmc90 library exercised the memo at least once.
+    assert info["hits"] + info["misses"] >= info["size"]
+
+
+def test_characterization_cache_info_counts_hits():
+    from repro.ir.operations import OpKind
+    from repro.lib.characterize import (
+        characterization_cache_info,
+        characterize_class,
+        default_kind_models,
+    )
+
+    model = default_kind_models()[OpKind.ADD]
+    before = characterization_cache_info()
+    first = characterize_class(OpKind.ADD, 37, model)
+    again = characterize_class(OpKind.ADD, 37, model)
+    after = characterization_cache_info()
+    assert again is first  # memoized instance is shared
+    assert after["hits"] >= before["hits"] + 1
+    assert after["misses"] >= before["misses"]
+    assert after["size"] >= before["size"]
+
+
+# -- adopted ad-hoc counters keep their public accessors ---------------------------
+
+
+def test_sweep_counters_twin_the_session_stats(library):
+    from repro.flows.dse import DesignPoint
+    from repro.flows.sweep import SweepSession
+    from repro.workloads import IDCTPointFactory
+
+    before = {name: counter(name).value
+              for name in ("sweep.points_evaluated", "sweep.full_evaluations",
+                           "sweep.delta_points")}
+    session = SweepSession(IDCTPointFactory(rows=1), library)
+    points = [DesignPoint(name=f"T{lat}", latency=lat, clock_period=1500.0)
+              for lat in (6, 8)]
+    session.run(points)
+    # The public accessor is untouched ...
+    assert session.stats.points_evaluated == 2
+    assert session.stats.full_evaluations + session.stats.delta_points == 2
+    # ... and the registry twins advanced by exactly the same amounts.
+    assert counter("sweep.points_evaluated").value \
+        == before["sweep.points_evaluated"] + 2
+    assert (counter("sweep.full_evaluations").value
+            + counter("sweep.delta_points").value) \
+        == (before["sweep.full_evaluations"]
+            + before["sweep.delta_points"] + 2)
+
+
+def test_relaxation_counters_twin_the_log(library):
+    from repro.flows.conventional import conventional_flow
+    from repro.workloads import IDCTPointFactory
+    from repro.flows.dse import DesignPoint
+
+    before = counter("relaxation.attempts").value
+    design = IDCTPointFactory(rows=1)(
+        DesignPoint(name="R", latency=8, clock_period=1500.0))
+    result = conventional_flow(design, library, clock_period=1500.0)
+    attempts = result.details["relaxation_attempts"]
+    assert attempts >= 1
+    assert counter("relaxation.attempts").value >= before + attempts
+
+
+def test_oracle_counters_and_timing_histograms(library):
+    from repro.verify.oracles import ORACLES
+    from repro.verify.runner import run_oracle_guarded
+    from repro.verify.scenarios import scenario_stream
+
+    oracle = ORACLES["sequential-slack"]
+    (_, spec), = list(scenario_stream(3, 1))
+    before_pass = counter("oracle.pass").value
+    before_count = histogram("oracle.sequential-slack.seconds").count
+    outcome = run_oracle_guarded(oracle, spec, library)
+    assert outcome.ok
+    assert counter("oracle.pass").value == before_pass + 1
+    hist = histogram("oracle.sequential-slack.seconds")
+    assert hist.count == before_count + 1
+    assert hist.total > 0.0
+
+
+def test_oracle_crash_is_counted(library):
+    from repro.verify.oracles import Oracle
+    from repro.verify.runner import run_oracle_guarded
+    from repro.verify.scenarios import scenario_stream
+
+    def exploding_check(spec, lib):
+        raise IndexError("deep engine crash")
+
+    exploding = Oracle(name="exploding-test-oracle",
+                       description="always crashes", check=exploding_check)
+    (_, spec), = list(scenario_stream(3, 1))
+    before = counter("oracle.crash").value
+    outcome = run_oracle_guarded(exploding, spec, library)
+    assert not outcome.ok and "crash" in outcome.details
+    assert counter("oracle.crash").value == before + 1

@@ -68,6 +68,8 @@ PINNED_SURFACE = {
     "AdaptiveExplorer", "RefinementPolicy", "ResultStore",
     # verification
     "ORACLES", "Oracle", "oracle",
+    # observability
+    "Tracer", "tracing", "cache_stats", "profile_report",
 }
 
 
