@@ -1,0 +1,104 @@
+"""Campaign fan-in throughput: merging many synthetic shard stores.
+
+The merge layer is pure dict/set work over canonical JSONL lines, so it
+must stay cheap even for corpora far larger than a nightly fleet produces.
+The suite synthesizes shard directories (no flow runs) with realistic
+overlap — every record appears in roughly two shards — then times the full
+``merge_shards`` fan-in and asserts the merge invariants on the result.
+
+New entries deliberately have no ``baseline_timings.json`` counterpart yet:
+the perf gate reports one-sided benchmarks without failing, and the
+baseline is regenerated wholesale on a reference machine.
+"""
+
+import json
+import os
+
+from repro.campaign.merge import (
+    CORPUS_FILE,
+    METRICS_FILE,
+    STORE_FILE,
+    merge_shards,
+)
+from repro.core.jsonl import dump_record
+
+SHARDS = 8
+RECORDS_PER_SHARD = 250
+
+
+def _corpus_record(index):
+    return {
+        "schema": 1, "kind": "failure", "oracle": "area-recovery",
+        "fingerprint": f"c{index:06d}", "seed": index, "ops": 5,
+        "details": f"violation {index}", "shrunk_from": None,
+        "spec": {"seed": index, "clock_period": 1500.0, "pipeline_ii": None,
+                 "margin_fraction": 0.05},
+    }
+
+
+def _store_record(index):
+    return {
+        "schema": 1, "workload": "idct",
+        "key": {"fingerprint": f"s{index:06d}", "clock_period": 1500.0,
+                "pipeline_ii": None, "margin_fraction": 0.05},
+        "point": {"name": f"P{index}", "latency": 6 + index % 8,
+                  "pipeline_ii": None, "clock_period": 1500.0},
+        "metrics": {
+            "point": {"name": f"P{index}", "latency": 6 + index % 8,
+                      "pipeline_ii": None, "clock_period": 1500.0},
+            "slack_based": {"latency_steps": 6 + index % 8,
+                            "area": 100.0 + index},
+        },
+    }
+
+
+def _write_shards(root):
+    """Each global record index lands on two neighbouring shards (overlap)."""
+    dirs = []
+    for shard in range(SHARDS):
+        directory = os.path.join(root, f"shard-{shard}")
+        os.makedirs(directory)
+        lo = shard * RECORDS_PER_SHARD
+        indices = range(lo, lo + 2 * RECORDS_PER_SHARD)
+        with open(os.path.join(directory, CORPUS_FILE), "w",
+                  encoding="utf-8") as handle:
+            for index in indices:
+                handle.write(dump_record(
+                    _corpus_record(index % (SHARDS * RECORDS_PER_SHARD)))
+                    + "\n")
+        with open(os.path.join(directory, STORE_FILE), "w",
+                  encoding="utf-8") as handle:
+            for index in indices:
+                handle.write(dump_record(
+                    _store_record(index % (SHARDS * RECORDS_PER_SHARD)))
+                    + "\n")
+        with open(os.path.join(directory, METRICS_FILE), "w",
+                  encoding="utf-8") as handle:
+            json.dump({"schema": 1, "campaign": "bench", "seed": 0,
+                       "metrics": {"counters": {}}}, handle)
+        dirs.append(directory)
+    return dirs
+
+
+def test_merge_throughput_on_synthetic_fleet(benchmark, tmp_path):
+    shard_dirs = _write_shards(str(tmp_path / "fleet"))
+    out_root = str(tmp_path / "merged")
+    runs = [0]
+
+    def fan_in():
+        out = os.path.join(out_root, str(runs[0]))
+        runs[0] += 1
+        return merge_shards(shard_dirs, out)
+
+    report = benchmark(fan_in)
+    total = SHARDS * RECORDS_PER_SHARD
+    for section in ("corpus", "store"):
+        stats = report[section]
+        assert stats["records_in"] == 2 * total
+        assert stats["unique"] == total
+        assert stats["exact_duplicates"] == total
+        assert stats["conflicts"] == 0
+        assert stats["skipped_lines"] == 0
+    assert report["clean"] is True
+    print(f"\nmerged {2 * total} records/store from {SHARDS} shards -> "
+          f"{total} unique")

@@ -24,6 +24,10 @@ The package implements a complete high-level-synthesis (HLS) research stack:
   workloads/flows and the ``repro-explore`` CLI.
 * :mod:`repro.workloads` — the paper's kernels (interpolation, resizer, IDCT)
   and additional public-style kernels.
+* :mod:`repro.campaign` — sharded campaigns over the JSONL stores: a
+  JSON-safe spec with a deterministic N-way partition, per-shard runners,
+  a byte-stable order-invariant fan-in merge and trend reporting
+  (``repro campaign``; CI's nightly matrix).
 * :mod:`repro.obs` — observability: hierarchical span tracing, the
   process-wide metrics registry, phase profiling and trace export
   (``repro profile``, ``--trace-out``).  Observation-only by contract:
@@ -78,6 +82,12 @@ _PUBLIC_API = {
     "AdaptiveExplorer": "repro.explore.adaptive",
     "RefinementPolicy": "repro.explore.adaptive",
     "ResultStore": "repro.explore.store",
+    # campaign layer (sharded fleets over the JSONL stores)
+    "CampaignSpec": "repro.campaign.spec",
+    "plan_shards": "repro.campaign.spec",
+    "run_shard": "repro.campaign.shard",
+    "merge_shards": "repro.campaign.merge",
+    "trend_report": "repro.campaign.trend",
     # verification layer (the oracle registry drives fuzzing and the CLI)
     "ORACLES": "repro.verify.oracles",
     "Oracle": "repro.verify.oracles",

@@ -1,0 +1,6 @@
+"""``python -m repro.campaign`` — the campaign CLI entry point."""
+
+from repro.campaign.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

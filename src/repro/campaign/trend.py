@@ -1,0 +1,364 @@
+"""Campaign trend history: per-run summaries over time, plus reports.
+
+The trend history is one more append-only JSONL store in the canonical
+dialect of :mod:`repro.core.jsonl` — CI restores it, appends one record
+per run, and re-publishes it, so trajectories accumulate across nightly
+fleets instead of every run being one-shot.  Two record types share the
+file:
+
+* ``type: "campaign"`` — the fan-in summary of one merged campaign:
+  corpus size (by kind and oracle), store size, per-workload Pareto
+  frontier hypervolume, oracle pass/fail/crash totals summed over the
+  shard manifests, and the merge-health counters (skipped lines,
+  duplicates, conflicts);
+* ``type: "bench"`` — the bench-smoke job's median wall times per
+  benchmark (read from a ``pytest-benchmark`` JSON), so ``BENCH_*`` perf
+  trajectories ride the same artifact.
+
+:func:`trend_report` renders the history as JSON;
+:func:`render_trend_markdown` as a human report in the style of
+:mod:`repro.explore.report`.  Records carry an optional caller-supplied
+``run`` label (CI passes its run id) — the module itself never reads the
+clock, keeping every output a pure function of its inputs.
+
+Hypervolumes use each front's auto-reference point, which tracks the
+evaluated curve: comparable run over run while the campaign spec is
+stable, recalibrated when the spec (and thus the swept region) changes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.jsonl import append_record, load_records
+from repro.errors import ReproError
+from repro.explore.pareto import (
+    front_from_metrics,
+    hypervolume,
+    pareto_front,
+    reference_point,
+)
+from repro.explore.store import ResultStore
+from repro.flows.report import fmt_metric, format_markdown_table
+from repro.verify.corpus import Corpus
+
+TREND_SCHEMA = 1
+
+#: Objectives the per-workload frontier summaries are computed over.
+TREND_OBJECTIVES: Tuple[str, str] = ("latency_steps", "area")
+
+
+def _accept_trend(record: Dict[str, object]) -> bool:
+    return (record.get("schema") == TREND_SCHEMA
+            and record.get("type") in ("campaign", "bench"))
+
+
+def load_history(path: str) -> Tuple[List[Dict[str, object]], int]:
+    """The history's records in file (chronological) order + skipped count."""
+    return load_records(path, _accept_trend)
+
+
+def append_trend(path: str, entry: Dict[str, object]) -> Dict[str, object]:
+    """Append one record to the history (validated against the schema)."""
+    if not _accept_trend(entry):
+        raise ReproError(
+            "trend entries need schema=1 and type 'campaign' or 'bench'")
+    append_record(path, entry)
+    return entry
+
+
+# -- campaign summaries ---------------------------------------------------------
+
+
+def _corpus_summary(corpus: Corpus) -> Dict[str, object]:
+    by_kind: Dict[str, int] = {}
+    by_oracle: Dict[str, int] = {}
+    for record in corpus.records():
+        kind = str(record.get("kind", "failure"))
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+        oracle = str(record.get("oracle", "?"))
+        by_oracle[oracle] = by_oracle.get(oracle, 0) + 1
+    return {
+        "records": len(corpus),
+        "by_kind": dict(sorted(by_kind.items())),
+        "by_oracle": dict(sorted(by_oracle.items())),
+        "skipped_lines": corpus.skipped_lines,
+    }
+
+
+def _store_summary(store: ResultStore) -> Dict[str, object]:
+    workloads: Dict[str, object] = {}
+    for workload in store.workloads():
+        metrics = store.metrics(workload)
+        try:
+            points = front_from_metrics(metrics, TREND_OBJECTIVES)
+            front = pareto_front(points)
+            volume = hypervolume(front, reference_point(points)) \
+                if points else 0.0
+            front_size: Optional[int] = len(front)
+        except ReproError:
+            # Records that cannot be projected onto the trend objectives
+            # (foreign flow shapes, failed points) still count; the
+            # frontier summary is just unavailable.
+            volume, front_size = None, None
+        workloads[workload] = {
+            "points": len(metrics),
+            "front_size": front_size,
+            "hypervolume": volume,
+        }
+    return {
+        "records": len(store),
+        "skipped_lines": store.skipped_lines,
+        "workloads": workloads,
+    }
+
+
+def _oracle_outcomes(shard_manifests: Sequence[Mapping[str, object]],
+                     ) -> Dict[str, int]:
+    """Pass/fail/crash totals over the shards' metrics snapshots."""
+    totals = {"pass": 0, "fail": 0, "crash": 0}
+    for manifest in shard_manifests:
+        metrics = manifest.get("metrics")
+        counters = metrics.get("counters", {}) if isinstance(metrics, Mapping) \
+            else {}
+        for outcome in totals:
+            value = counters.get(f"oracle.{outcome}", 0)
+            if isinstance(value, (int, float)):
+                totals[outcome] += int(value)
+    return totals
+
+
+def campaign_summary(merge_report: Mapping[str, object],
+                     merged_dir: str,
+                     run: str = "") -> Dict[str, object]:
+    """The trend record of one merged campaign.
+
+    ``merge_report`` is :func:`repro.campaign.merge.merge_shards`'s output;
+    ``merged_dir`` holds the merged ``corpus.jsonl``/``store.jsonl`` the
+    report describes (sizes and frontier summaries are recomputed from the
+    merged files themselves, so the record describes what was actually
+    published, not what the merge intended).
+    """
+    from repro.campaign.merge import CORPUS_FILE, STORE_FILE
+
+    corpus = Corpus(os.path.join(merged_dir, CORPUS_FILE))
+    store = ResultStore(os.path.join(merged_dir, STORE_FILE))
+    shards = merge_report.get("shards", [])
+    if not isinstance(shards, Sequence):
+        shards = []
+    campaign = ""
+    seed: Optional[int] = None
+    for manifest in shards:
+        if isinstance(manifest, Mapping):
+            campaign = campaign or str(manifest.get("campaign", ""))
+            if seed is None and isinstance(manifest.get("seed"), int):
+                seed = manifest["seed"]  # type: ignore[assignment]
+
+    def _merge_health(section: object) -> Dict[str, object]:
+        data = section if isinstance(section, Mapping) else {}
+        return {key: data.get(key, 0) for key in
+                ("records_in", "unique", "exact_duplicates", "conflicts",
+                 "skipped_lines")}
+
+    return {
+        "schema": TREND_SCHEMA,
+        "type": "campaign",
+        "run": run,
+        "campaign": campaign,
+        "seed": seed,
+        "shards": len(shards) or len(merge_report.get("shard_dirs", [])),  # type: ignore[arg-type]
+        "corpus": _corpus_summary(corpus),
+        "store": _store_summary(store),
+        "oracle_outcomes": _oracle_outcomes(
+            [m for m in shards if isinstance(m, Mapping)]),
+        "merge": {
+            "clean": bool(merge_report.get("clean", False)),
+            "corpus": _merge_health(merge_report.get("corpus")),
+            "store": _merge_health(merge_report.get("store")),
+        },
+    }
+
+
+# -- bench entries --------------------------------------------------------------
+
+
+def bench_entry(timings_path: str, run: str = "") -> Dict[str, object]:
+    """A ``type: "bench"`` record from a ``pytest-benchmark`` JSON file.
+
+    Records the *median* wall time per benchmark (medians are what the
+    perf-regression gate trends on; means are noisier under CI schedulers)
+    keyed by the benchmark's full name.
+    """
+    with open(timings_path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    medians: Dict[str, float] = {}
+    for bench in data.get("benchmarks", []):
+        name = bench.get("fullname") or bench.get("name")
+        stats = bench.get("stats") or {}
+        value = stats.get("median", stats.get("mean"))
+        if name and isinstance(value, (int, float)):
+            medians[str(name)] = float(value)
+    if not medians:
+        raise ReproError(
+            f"{timings_path!r} holds no benchmark medians (is it a "
+            "--benchmark-json file?)")
+    return {
+        "schema": TREND_SCHEMA,
+        "type": "bench",
+        "run": run,
+        "medians": dict(sorted(medians.items())),
+    }
+
+
+# -- reports --------------------------------------------------------------------
+
+
+def trend_report(records: Sequence[Mapping[str, object]],
+                 last: Optional[int] = None) -> Dict[str, object]:
+    """The JSON trend report over a history's records (file order = time).
+
+    ``last`` trims to the most recent N records of *each* type.  Campaign
+    rows carry deltas against the previous campaign record (corpus/store
+    growth); bench series summarise first/latest medians and their ratio.
+    """
+    campaigns = [r for r in records if r.get("type") == "campaign"]
+    benches = [r for r in records if r.get("type") == "bench"]
+    if last is not None:
+        campaigns = campaigns[-last:]
+        benches = benches[-last:]
+
+    campaign_rows = []
+    previous: Optional[Mapping[str, object]] = None
+    for record in campaigns:
+        corpus = record.get("corpus", {})
+        store = record.get("store", {})
+        outcomes = record.get("oracle_outcomes", {})
+        merge = record.get("merge", {})
+        row: Dict[str, object] = {
+            "run": record.get("run", ""),
+            "campaign": record.get("campaign", ""),
+            "seed": record.get("seed"),
+            "shards": record.get("shards", 0),
+            "corpus_records": corpus.get("records", 0) if isinstance(corpus, Mapping) else 0,
+            "store_records": store.get("records", 0) if isinstance(store, Mapping) else 0,
+            "oracle_pass": outcomes.get("pass", 0) if isinstance(outcomes, Mapping) else 0,
+            "oracle_fail": outcomes.get("fail", 0) if isinstance(outcomes, Mapping) else 0,
+            "oracle_crash": outcomes.get("crash", 0) if isinstance(outcomes, Mapping) else 0,
+            "clean_merge": merge.get("clean", False) if isinstance(merge, Mapping) else False,
+            "hypervolumes": {
+                workload: summary.get("hypervolume")
+                for workload, summary in (store.get("workloads", {}) or {}).items()
+                if isinstance(summary, Mapping)
+            } if isinstance(store, Mapping) else {},
+        }
+        if previous is not None:
+            prev_corpus = previous.get("corpus", {})
+            prev_store = previous.get("store", {})
+            row["corpus_growth"] = (
+                row["corpus_records"]
+                - (prev_corpus.get("records", 0)
+                   if isinstance(prev_corpus, Mapping) else 0))
+            row["store_growth"] = (
+                row["store_records"]
+                - (prev_store.get("records", 0)
+                   if isinstance(prev_store, Mapping) else 0))
+        campaign_rows.append(row)
+        previous = record
+
+    series: Dict[str, List[float]] = {}
+    runs: Dict[str, List[object]] = {}
+    for record in benches:
+        medians = record.get("medians", {})
+        if not isinstance(medians, Mapping):
+            continue
+        for name, value in medians.items():
+            if isinstance(value, (int, float)):
+                series.setdefault(str(name), []).append(float(value))
+                runs.setdefault(str(name), []).append(record.get("run", ""))
+    bench_rows = {
+        name: {
+            "samples": len(values),
+            "first": values[0],
+            "latest": values[-1],
+            "ratio": (values[-1] / values[0]) if values[0] else None,
+            "latest_run": runs[name][-1],
+        }
+        for name, values in sorted(series.items())
+    }
+
+    return {
+        "schema": TREND_SCHEMA,
+        "campaigns": campaign_rows,
+        "benches": bench_rows,
+    }
+
+
+def render_trend_markdown(report: Mapping[str, object]) -> str:
+    """The markdown rendering of a :func:`trend_report` dict."""
+    lines = ["# Campaign trend report", ""]
+    campaigns = report.get("campaigns", [])
+    if campaigns:
+        header = ["run", "shards", "corpus", "Δcorpus", "store", "Δstore",
+                  "pass", "fail", "crash", "clean"]
+        rows = []
+        for row in campaigns:  # type: ignore[union-attr]
+            rows.append([
+                str(row.get("run") or "?"),
+                str(row.get("shards", 0)),
+                str(row.get("corpus_records", 0)),
+                str(row.get("corpus_growth", "—")),
+                str(row.get("store_records", 0)),
+                str(row.get("store_growth", "—")),
+                str(row.get("oracle_pass", 0)),
+                str(row.get("oracle_fail", 0)),
+                str(row.get("oracle_crash", 0)),
+                "yes" if row.get("clean_merge") else "NO",
+            ])
+        lines.append(format_markdown_table(header, rows))
+        lines.append("")
+        latest = campaigns[-1]
+        volumes = latest.get("hypervolumes", {})
+        if isinstance(volumes, Mapping) and volumes:
+            lines.append("Latest frontier hypervolume per workload:")
+            lines.append("")
+            for workload, volume in sorted(volumes.items()):
+                lines.append(f"- `{workload or '(untagged)'}`: "
+                             f"{fmt_metric(volume, '.6g')}")
+            lines.append("")
+    else:
+        lines.append("_No campaign records yet._")
+        lines.append("")
+
+    benches = report.get("benches", {})
+    if isinstance(benches, Mapping) and benches:
+        header = ["benchmark", "samples", "first median (s)",
+                  "latest median (s)", "ratio"]
+        rows = [
+            [name,
+             str(summary.get("samples", 0)),
+             fmt_metric(summary.get("first"), ".4g"),
+             fmt_metric(summary.get("latest"), ".4g"),
+             fmt_metric(summary.get("ratio"), ".3f")]
+            for name, summary in benches.items()
+            if isinstance(summary, Mapping)
+        ]
+        lines.append(format_markdown_table(header, rows))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_trend_report(report: Mapping[str, object],
+                       json_path: Optional[str] = None,
+                       markdown_path: Optional[str] = None) -> None:
+    """Write a trend report as JSON and/or markdown (directories created)."""
+    for path, payload in (
+            (json_path, json.dumps(report, indent=1, sort_keys=True) + "\n"),
+            (markdown_path, render_trend_markdown(report))):
+        if path is None:
+            continue
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(payload)

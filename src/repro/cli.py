@@ -40,6 +40,8 @@ commands:
   explore   adaptive Pareto-front exploration (see: repro explore --help)
   verify    differential scenario fuzzing     (see: repro verify --help)
   sweep     batched DSE sweep via SweepSession (see: repro sweep --help)
+  campaign  sharded campaigns: plan / run-shard / merge / report / bench
+                                               (see: repro campaign --help)
   profile   run a command under the span tracer and print the phase
             breakdown                          (see: repro profile --help)
 
@@ -168,6 +170,10 @@ def _run_command(command: str, rest: Sequence[str]) -> Optional[int]:
         return verify_main(list(rest))
     if command == "sweep":
         return _sweep_main(rest)
+    if command == "campaign":
+        from repro.campaign.cli import main as campaign_main
+
+        return campaign_main(list(rest))
     if command == "profile":
         return _profile_main(rest)
     return None

@@ -18,6 +18,12 @@ import json
 import os
 from typing import Callable, Dict, Iterable, List, Tuple
 
+from repro.obs.metrics import counter as _obs_counter
+
+#: Process-wide count of lines every loader tolerated and dropped (corrupt
+#: JSON, non-dict payloads, schema rejections) — the silent-skip telemetry.
+_SKIPPED_LINES = _obs_counter("jsonl.skipped_lines")
+
 
 def dump_record(record: Dict[str, object]) -> str:
     """The canonical one-line serialisation (sorted keys, byte-stable)."""
@@ -61,6 +67,12 @@ def load_records(
                 records.append(record)
             else:
                 skipped += 1
+    if skipped:
+        # Tolerated-but-dropped lines are a health signal, not just a local
+        # return value: a truncated shard artifact must not masquerade as a
+        # clean store.  The process-wide tally surfaces through
+        # repro.obs.metrics.cache_stats() and the campaign merge reports.
+        _SKIPPED_LINES.inc(skipped)
     return records, skipped
 
 

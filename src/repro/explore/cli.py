@@ -20,14 +20,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ReproError
 from repro.lib import tsmc90_library
-from repro.workloads import (
-    IDCTPointFactory,
-    InterpolationPointFactory,
-    KernelPointFactory,
-    RandomPointFactory,
-    ResizerPointFactory,
-)
-from repro.workloads.factories import KERNEL_BUILDERS
+from repro.workloads.factories import KERNEL_BUILDERS, resolve_factory
 from repro.explore.adaptive import AdaptiveExplorer, RefinementPolicy
 from repro.explore.report import frontier_report, frontier_text_table, write_report
 from repro.explore.store import open_store
@@ -62,18 +55,10 @@ def _parse_param(pair: str) -> Tuple[str, int]:
 
 
 def _factory_for(args: argparse.Namespace):
+    params = dict(args.params)
     if args.workload == "idct":
-        return IDCTPointFactory(rows=args.rows)
-    if args.workload == "interpolation":
-        return InterpolationPointFactory()
-    if args.workload == "resizer":
-        return ResizerPointFactory()
-    if args.workload == "random":
-        params = dict(args.params)
-        return RandomPointFactory(seed=params.get("seed", 7),
-                                  layers=params.get("layers", 4),
-                                  ops_per_layer=params.get("ops_per_layer", 6))
-    return KernelPointFactory(args.workload, params=args.params)
+        params.setdefault("rows", args.rows)
+    return resolve_factory(args.workload, params)
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -236,6 +236,29 @@ class ResultStore:
         return restored
 
 
+def accept_record(record: Dict[str, object]) -> bool:
+    """Schema/shape validation of one store record, key included.
+
+    Slightly stricter than the loader's first-stage filter: the record's
+    key must also parse into a :class:`StoreKey` (the loader counts that
+    failure as a skipped line too, just in a second stage).  Module-level
+    so the campaign merge layer filters shard stores under the exact
+    policy a load applies.
+    """
+    if not ResultStore._accept(record):
+        return False
+    try:
+        StoreKey.from_dict(record["key"])  # type: ignore[arg-type]
+    except (KeyError, TypeError, ValueError):
+        return False
+    return True
+
+
+def record_key(record: Dict[str, object]) -> StoreKey:
+    """The dedup identity of one store record (fingerprint + point knobs)."""
+    return StoreKey.from_dict(record["key"])  # type: ignore[arg-type]
+
+
 def open_store(path: Optional[str]) -> ResultStore:
     """Convenience constructor (symmetry with ``ResultStore(path)``)."""
     if path is not None and os.path.isdir(path):

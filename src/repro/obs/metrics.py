@@ -276,7 +276,13 @@ def cache_stats() -> Dict[str, Dict[str, object]]:
       in :mod:`repro.core.delta_slack` (owned counters, incremented at the
       seed lookup);
     * ``characterization`` — the library characterisation memo
-      (:data:`repro.lib.characterize._CLASS_CACHE`) hit/miss/size.
+      (:data:`repro.lib.characterize._CLASS_CACHE`) hit/miss/size;
+    * ``jsonl_stores`` — lines the append-only JSONL loaders
+      (:mod:`repro.core.jsonl`: result stores, corpora, trend histories)
+      tolerated and dropped.  A non-zero ``skipped_lines`` means some
+      store on disk is corrupt or truncated — the per-store
+      ``skipped_lines`` attributes and the campaign merge reports say
+      which.
 
     This is the single entry point behind the profile reports'
     cache-efficiency summary.
@@ -289,5 +295,8 @@ def cache_stats() -> Dict[str, Dict[str, object]]:
             "inserts": counter("delta_seeds.inserts").value,
         },
         "characterization": dict(_characterization_probe()),
+        "jsonl_stores": {
+            "skipped_lines": counter("jsonl.skipped_lines").value,
+        },
     }
     return stats

@@ -51,6 +51,22 @@ CORPUS_SCHEMA = 1
 _Key = Tuple[str, str, str, float, Optional[int], float]
 
 
+def accept_record(record: Dict[str, object]) -> bool:
+    """Schema/shape validation of one corpus record (the load filter)."""
+    return Corpus._accept(record)
+
+
+def record_key(record: Dict[str, object]) -> _Key:
+    """The dedup identity of one corpus record.
+
+    ``(oracle, kind, design fingerprint, clock/II/margin point)`` — the
+    exact keying :class:`Corpus` applies on load, exposed at module level
+    so the campaign merge layer dedups shard corpora under the same policy
+    the store itself replays.
+    """
+    return Corpus._key(record)
+
+
 class Corpus:
     """An append-only JSONL corpus with last-record-wins semantics.
 

@@ -38,6 +38,7 @@ from repro.workloads.factories import (
     RandomPointFactory,
     ResizerPointFactory,
     SegmentedPointFactory,
+    resolve_factory,
 )
 
 __all__ = [
@@ -61,4 +62,5 @@ __all__ = [
     "RandomPointFactory",
     "ResizerPointFactory",
     "SegmentedPointFactory",
+    "resolve_factory",
 ]

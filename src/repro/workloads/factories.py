@@ -15,7 +15,7 @@ A factory receives the design point and reads ``point.latency``,
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.ir.design import Design
 from repro.workloads.idct import idct_design
@@ -165,3 +165,34 @@ class RandomPointFactory:
                                      ops_per_layer=self.ops_per_layer,
                                      latency=point.latency, width=self.width,
                                      clock_period=point.clock_period)
+
+
+def resolve_factory(workload: str, params: Optional[Dict[str, int]] = None):
+    """The picklable factory for a workload name plus builder parameters.
+
+    One registry serving every front end that names workloads by string —
+    the ``repro-explore`` CLI and the campaign layer's sweep/explore jobs:
+    ``"idct"``, ``"interpolation"``, ``"resizer"``, ``"random"`` or any
+    :data:`KERNEL_BUILDERS` kernel.  ``params`` feed the factory's keyword
+    knobs (``rows`` for the IDCT, ``seed``/``layers``/``ops_per_layer`` for
+    the random workload, builder kwargs for the kernels).
+    """
+    params = dict(params or {})
+    if workload == "idct":
+        return IDCTPointFactory(rows=params.get("rows", 2),
+                                width=params.get("width", 16))
+    if workload == "interpolation":
+        return InterpolationPointFactory(**params)
+    if workload == "resizer":
+        return ResizerPointFactory(**params)
+    if workload == "random":
+        return RandomPointFactory(seed=params.get("seed", 7),
+                                  layers=params.get("layers", 4),
+                                  ops_per_layer=params.get("ops_per_layer", 6))
+    if workload in KERNEL_BUILDERS:
+        width = params.pop("width", 16)
+        return KernelPointFactory(workload, width=width,
+                                  params=tuple(sorted(params.items())))
+    raise ValueError(
+        f"unknown workload {workload!r}; expected idct, interpolation, "
+        f"resizer, random or one of {sorted(KERNEL_BUILDERS)}")

@@ -1,0 +1,152 @@
+"""The ``repro campaign`` CLI: plan / run-shard / merge / report / bench."""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign.cli import main
+from repro.cli import main as repro_main
+
+SPEC = {
+    "schema": 1, "name": "cli-tiny", "seed": 5, "shards": 2,
+    "fuzz": {"iterations": 4, "max_segments": 3},
+    "sweeps": [{"workload": "idct", "latencies": [6, 7, 8],
+                "params": {"rows": 1}}],
+    "explorations": [],
+}
+
+
+@pytest.fixture(scope="module")
+def spec_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("spec") / "spec.json"
+    path.write_text(json.dumps(SPEC), encoding="utf-8")
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def campaign_run(spec_path, tmp_path_factory):
+    """Both shards executed and merged once, shared by the read-only tests."""
+    root = tmp_path_factory.mktemp("campaign-cli")
+    shard_dirs = []
+    for index in range(2):
+        out = str(root / f"shard-{index}")
+        assert main(["run-shard", "--spec", spec_path,
+                     "--shard", str(index), "--out", out]) == 0
+        shard_dirs.append(out)
+    merged = str(root / "merged")
+    history = str(root / "history.jsonl")
+    assert main(["merge", *shard_dirs, "--out", merged,
+                 "--history", history, "--run", "cli-test"]) == 0
+    return {"shards": shard_dirs, "merged": merged, "history": history,
+            "root": root}
+
+
+def test_plan_prints_the_partition(spec_path, capsys):
+    assert main(["plan", "--spec", spec_path]) == 0
+    output = capsys.readouterr().out
+    assert "campaign 'cli-tiny'" in output
+    assert "shard 0" in output and "shard 1" in output
+    assert "3 sweep point(s)" in output
+
+
+def test_plan_json_payload(spec_path, tmp_path):
+    path = str(tmp_path / "plan.json")
+    assert main(["plan", "--spec", spec_path, "--json", path]) == 0
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    assert payload["spec"]["name"] == "cli-tiny"
+    assert len(payload["plans"]) == 2
+
+
+def test_plan_overrides_seed_and_shards(spec_path, capsys):
+    assert main(["plan", "--spec", spec_path, "--seed", "99",
+                 "--shards", "3"]) == 0
+    output = capsys.readouterr().out
+    assert "seed 99" in output
+    assert "3 shard(s)" in output
+
+
+def test_plan_nightly_builtin(capsys):
+    assert main(["plan", "--nightly", "--seed", "20260807"]) == 0
+    output = capsys.readouterr().out
+    assert "campaign 'nightly'" in output
+    assert "seed 20260807" in output
+
+
+def test_run_shard_writes_artifacts(campaign_run):
+    for shard_dir in campaign_run["shards"]:
+        for name in ("corpus.jsonl", "store.jsonl", "shard-metrics.json"):
+            assert os.path.exists(os.path.join(shard_dir, name))
+
+
+def test_merge_produced_the_union_and_history(campaign_run):
+    merged = campaign_run["merged"]
+    with open(os.path.join(merged, "merge-report.json"), "r",
+              encoding="utf-8") as handle:
+        report = json.load(handle)
+    assert report["clean"] is True
+    assert report["store"]["unique"] == 3
+    assert len(report["shards"]) == 2
+    with open(campaign_run["history"], "r", encoding="utf-8") as handle:
+        records = [json.loads(line) for line in handle if line.strip()]
+    assert len(records) == 1
+    assert records[0]["type"] == "campaign"
+    assert records[0]["run"] == "cli-test"
+    assert records[0]["store"]["records"] == 3
+
+
+def test_merge_history_requires_out(campaign_run, capsys):
+    code = main(["merge", *campaign_run["shards"],
+                 "--history", "nope.jsonl"])
+    assert code == 2
+    assert "--history needs --out" in capsys.readouterr().err
+
+
+def test_merge_dry_run(campaign_run, capsys):
+    assert main(["merge", *campaign_run["shards"]]) == 0
+    assert "(dry run)" in capsys.readouterr().out
+
+
+def test_bench_and_report(campaign_run, tmp_path, capsys):
+    timings = tmp_path / "timings.json"
+    timings.write_text(json.dumps({"benchmarks": [
+        {"fullname": "b::one", "stats": {"median": 0.5}}]}),
+        encoding="utf-8")
+    assert main(["bench", "--timings", str(timings),
+                 "--history", campaign_run["history"],
+                 "--run", "cli-test"]) == 0
+    json_path = str(tmp_path / "trend.json")
+    md_path = str(tmp_path / "trend.md")
+    assert main(["report", "--history", campaign_run["history"],
+                 "--json", json_path, "--markdown", md_path]) == 0
+    capsys.readouterr()
+    with open(json_path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    assert [row["run"] for row in report["campaigns"]] == ["cli-test"]
+    assert report["benches"]["b::one"]["latest"] == 0.5
+    with open(md_path, "r", encoding="utf-8") as handle:
+        markdown = handle.read()
+    assert "Campaign trend report" in markdown
+    # Without output paths the markdown prints to stdout.
+    assert main(["report", "--history", campaign_run["history"]]) == 0
+    assert "Campaign trend report" in capsys.readouterr().out
+
+
+def test_campaign_is_wired_into_the_unified_cli(spec_path, capsys):
+    assert repro_main(["campaign", "plan", "--spec", spec_path]) == 0
+    assert "campaign 'cli-tiny'" in capsys.readouterr().out
+    assert repro_main(["--help"]) == 0
+    assert "campaign" in capsys.readouterr().out
+
+
+def test_shard_index_out_of_range_is_a_cli_error(spec_path, tmp_path, capsys):
+    code = main(["run-shard", "--spec", spec_path, "--shard", "7",
+                 "--out", str(tmp_path / "x")])
+    assert code == 2
+    assert "out of range" in capsys.readouterr().err
+
+
+def test_missing_spec_file_is_a_cli_error(tmp_path, capsys):
+    code = main(["plan", "--spec", str(tmp_path / "missing.json")])
+    assert code != 0

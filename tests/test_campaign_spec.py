@@ -1,0 +1,138 @@
+"""CampaignSpec: serialisation round-trips and the shard partition."""
+
+import json
+
+import pytest
+
+from repro.campaign.spec import (
+    CampaignSpec,
+    ExploreJob,
+    SweepJob,
+    default_nightly_spec,
+    plan_shards,
+)
+from repro.errors import ReproError
+
+
+def small_spec(shards=3):
+    return CampaignSpec(
+        name="unit",
+        seed=11,
+        shards=shards,
+        fuzz_iterations=10,
+        fuzz_max_segments=4,
+        sweeps=(
+            SweepJob(workload="idct", latencies=(8, 6, 7),
+                     clocks=(1500.0, 2000.0), params=(("rows", 1),)),
+            SweepJob(workload="fir", latencies=(4, 5), ii_values=(2, 1),
+                     params=(("taps", 4),)),
+        ),
+        explorations=(
+            ExploreJob(workload="idct", latencies=(8, 10, 12),
+                       params=(("rows", 1),)),
+        ),
+    )
+
+
+def test_spec_round_trips_through_json():
+    spec = small_spec()
+    data = json.loads(json.dumps(spec.to_dict()))
+    assert CampaignSpec.from_dict(data) == spec
+
+
+def test_spec_save_load_round_trip(tmp_path):
+    spec = small_spec()
+    path = str(tmp_path / "spec.json")
+    spec.save(path)
+    assert CampaignSpec.load(path) == spec
+
+
+def test_spec_load_rejects_bad_json_and_schema(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{not json", encoding="utf-8")
+    with pytest.raises(ReproError):
+        CampaignSpec.load(str(path))
+    path.write_text(json.dumps({"schema": 99}), encoding="utf-8")
+    with pytest.raises(ReproError):
+        CampaignSpec.load(str(path))
+
+
+def test_spec_validation_errors():
+    with pytest.raises(ReproError):
+        CampaignSpec(shards=0)
+    with pytest.raises(ReproError):
+        CampaignSpec(fuzz_iterations=-1)
+    with pytest.raises(ReproError):
+        CampaignSpec(sweeps=(SweepJob(workload="nope", latencies=(8,)),))
+    with pytest.raises(ReproError):
+        SweepJob(workload="idct", latencies=())
+    with pytest.raises(ReproError):
+        SweepJob(workload="idct", latencies=(8,), ii_values=(0,))
+
+
+def test_sweep_points_are_canonically_ordered():
+    job = SweepJob(workload="idct", latencies=(8, 6), clocks=(2000.0, 1500.0),
+                   ii_values=(2, 1), params=(("rows", 1),))
+    names = [point.name for point in job.points()]
+    assert names == [
+        "idct_L6_T1500_ii1", "idct_L6_T1500_ii2",
+        "idct_L6_T2000_ii1", "idct_L6_T2000_ii2",
+        "idct_L8_T1500_ii1", "idct_L8_T1500_ii2",
+        "idct_L8_T2000_ii1", "idct_L8_T2000_ii2",
+    ]
+    assert job.scheduling == "pipeline"
+    block = SweepJob(workload="idct", latencies=(6,), params=(("rows", 1),))
+    assert block.scheduling == "block"
+
+
+@pytest.mark.parametrize("shards", [1, 2, 3, 5, 16])
+def test_partition_is_total_and_disjoint(shards):
+    spec = small_spec(shards=shards)
+    plans = plan_shards(spec)
+    assert len(plans) == shards
+
+    # Fuzzing: the iteration budget splits exactly; seeds are distinct.
+    assert sum(plan.fuzz_iterations for plan in plans) == spec.fuzz_iterations
+    assert max(plan.fuzz_iterations for plan in plans) \
+        - min(plan.fuzz_iterations for plan in plans) <= 1
+    assert len({plan.fuzz_seed for plan in plans}) == shards
+
+    # Sweep points: every (job, point) pair lands on exactly one shard.
+    seen = []
+    for plan in plans:
+        for job_index, indices in plan.sweep_points:
+            assert len(set(indices)) == len(indices)
+            seen.extend((job_index, i) for i in indices)
+    expected = [(j, i) for j, job in enumerate(spec.sweeps)
+                for i in range(len(job.points()))]
+    assert sorted(seen) == expected
+
+    # Explorations: whole jobs, each on exactly one shard.
+    explored = [j for plan in plans for j in plan.explorations]
+    assert sorted(explored) == list(range(len(spec.explorations)))
+
+
+def test_partition_is_deterministic():
+    spec = small_spec()
+    assert plan_shards(spec) == plan_shards(spec)
+
+
+def test_shard_fuzz_seeds_are_offset_from_the_base_seed():
+    plans = plan_shards(small_spec(shards=3))
+    assert [plan.fuzz_seed for plan in plans] == [11, 12, 13]
+
+
+def test_default_nightly_spec_is_valid_and_partitions():
+    spec = default_nightly_spec(seed=20260807, shards=4)
+    assert spec.shards == 4
+    plans = plan_shards(spec)
+    assert sum(plan.fuzz_iterations for plan in plans) == spec.fuzz_iterations
+    assert sum(plan.sweep_point_count for plan in plans) \
+        == sum(len(job.points()) for job in spec.sweeps)
+    # Round-trips like any user spec.
+    assert CampaignSpec.from_dict(spec.to_dict()) == spec
+
+
+def test_plan_to_dict_is_json_safe():
+    for plan in plan_shards(small_spec()):
+        json.dumps(plan.to_dict())

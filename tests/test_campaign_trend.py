@@ -1,0 +1,183 @@
+"""Trend history: campaign summaries, bench medians, reports."""
+
+import json
+
+import pytest
+
+from repro.campaign.merge import CORPUS_FILE, METRICS_FILE, STORE_FILE, merge_shards
+from repro.campaign.trend import (
+    append_trend,
+    bench_entry,
+    campaign_summary,
+    load_history,
+    render_trend_markdown,
+    trend_report,
+    write_trend_report,
+)
+from repro.core.jsonl import dump_record
+from repro.errors import ReproError
+
+
+def corpus_record(fingerprint, oracle="area-recovery", kind="failure"):
+    return {
+        "schema": 1, "kind": kind, "oracle": oracle,
+        "fingerprint": fingerprint, "seed": 1, "ops": 3, "details": "x",
+        "shrunk_from": None,
+        "spec": {"seed": 1, "clock_period": 1500.0, "pipeline_ii": None,
+                 "margin_fraction": 0.05},
+    }
+
+
+def store_record(fingerprint, latency, area, workload="idct"):
+    return {
+        "schema": 1, "workload": workload,
+        "key": {"fingerprint": fingerprint, "clock_period": 1500.0,
+                "pipeline_ii": None, "margin_fraction": 0.05},
+        "point": {"name": f"L{latency}", "latency": latency,
+                  "pipeline_ii": None, "clock_period": 1500.0},
+        "metrics": {
+            "point": {"name": f"L{latency}", "latency": latency,
+                      "pipeline_ii": None, "clock_period": 1500.0},
+            "slack_based": {"latency_steps": latency, "area": area},
+        },
+    }
+
+
+@pytest.fixture()
+def merged(tmp_path):
+    """One synthetic shard merged into a directory + its merge report."""
+    shard = tmp_path / "shard-0"
+    shard.mkdir()
+    with open(shard / CORPUS_FILE, "w", encoding="utf-8") as handle:
+        for record in (corpus_record("a"),
+                       corpus_record("b", oracle="pareto-front",
+                                     kind="shrunk")):
+            handle.write(dump_record(record) + "\n")
+    with open(shard / STORE_FILE, "w", encoding="utf-8") as handle:
+        for record in (store_record("x", 6, 120.0),
+                       store_record("y", 8, 100.0),
+                       store_record("z", 10, 140.0)):
+            handle.write(dump_record(record) + "\n")
+    (shard / METRICS_FILE).write_text(json.dumps({
+        "schema": 1, "campaign": "unit", "seed": 11,
+        "metrics": {"counters": {"oracle.pass": 7, "oracle.fail": 2,
+                                 "oracle.crash": 1}}}), encoding="utf-8")
+    out = tmp_path / "merged"
+    report = merge_shards([str(shard)], str(out))
+    return report, str(out)
+
+
+def test_campaign_summary_counts_everything(merged):
+    report, out = merged
+    entry = campaign_summary(report, out, run="r1")
+    assert entry["type"] == "campaign"
+    assert entry["run"] == "r1"
+    assert entry["campaign"] == "unit"
+    assert entry["seed"] == 11
+    assert entry["shards"] == 1
+    assert entry["corpus"]["records"] == 2
+    assert entry["corpus"]["by_kind"] == {"failure": 1, "shrunk": 1}
+    assert entry["corpus"]["by_oracle"] == {"area-recovery": 1,
+                                            "pareto-front": 1}
+    assert entry["store"]["records"] == 3
+    idct = entry["store"]["workloads"]["idct"]
+    assert idct["points"] == 3
+    # (6,120) and (8,100) are non-dominated; (10,140) is dominated.
+    assert idct["front_size"] == 2
+    assert idct["hypervolume"] > 0
+    assert entry["oracle_outcomes"] == {"pass": 7, "fail": 2, "crash": 1}
+    assert entry["merge"]["clean"] is True
+    assert entry["merge"]["store"]["unique"] == 3
+    # JSON-safe by construction.
+    json.dumps(entry)
+
+
+def test_history_append_load_round_trip(merged, tmp_path):
+    report, out = merged
+    history = str(tmp_path / "history.jsonl")
+    append_trend(history, campaign_summary(report, out, run="r1"))
+    append_trend(history, campaign_summary(report, out, run="r2"))
+    records, skipped = load_history(history)
+    assert skipped == 0
+    assert [record["run"] for record in records] == ["r1", "r2"]
+
+
+def test_append_rejects_foreign_records(tmp_path):
+    with pytest.raises(ReproError):
+        append_trend(str(tmp_path / "h.jsonl"), {"type": "campaign"})
+    with pytest.raises(ReproError):
+        append_trend(str(tmp_path / "h.jsonl"), {"schema": 1, "type": "other"})
+
+
+def test_bench_entry_reads_medians(tmp_path):
+    timings = tmp_path / "timings.json"
+    timings.write_text(json.dumps({"benchmarks": [
+        {"fullname": "b/test_a.py::test_one",
+         "stats": {"median": 0.25, "mean": 0.3}},
+        {"name": "test_two", "stats": {"mean": 1.5}},
+    ]}), encoding="utf-8")
+    entry = bench_entry(str(timings), run="r9")
+    assert entry["type"] == "bench"
+    assert entry["medians"] == {"b/test_a.py::test_one": 0.25,
+                                "test_two": 1.5}
+
+
+def test_bench_entry_rejects_empty_files(tmp_path):
+    timings = tmp_path / "empty.json"
+    timings.write_text(json.dumps({"benchmarks": []}), encoding="utf-8")
+    with pytest.raises(ReproError):
+        bench_entry(str(timings))
+
+
+def test_trend_report_tracks_growth_and_bench_ratios(merged, tmp_path):
+    report, out = merged
+    first = campaign_summary(report, out, run="r1")
+    second = json.loads(json.dumps(first))
+    second["run"] = "r2"
+    second["corpus"]["records"] = 5
+    second["store"]["records"] = 7
+    bench1 = {"schema": 1, "type": "bench", "run": "r1",
+              "medians": {"bench::one": 0.2}}
+    bench2 = {"schema": 1, "type": "bench", "run": "r2",
+              "medians": {"bench::one": 0.3}}
+    result = trend_report([first, bench1, second, bench2])
+    rows = result["campaigns"]
+    assert [row["run"] for row in rows] == ["r1", "r2"]
+    assert "corpus_growth" not in rows[0]
+    assert rows[1]["corpus_growth"] == 3
+    assert rows[1]["store_growth"] == 4
+    assert rows[1]["hypervolumes"]["idct"] > 0
+    one = result["benches"]["bench::one"]
+    assert one["samples"] == 2
+    assert one["first"] == 0.2 and one["latest"] == 0.3
+    assert one["ratio"] == pytest.approx(1.5)
+    assert one["latest_run"] == "r2"
+    # last=N trims each type independently.
+    trimmed = trend_report([first, bench1, second, bench2], last=1)
+    assert [row["run"] for row in trimmed["campaigns"]] == ["r2"]
+    assert trimmed["benches"]["bench::one"]["samples"] == 1
+
+
+def test_markdown_rendering_and_report_files(merged, tmp_path):
+    report, out = merged
+    records = [campaign_summary(report, out, run="r1"),
+               {"schema": 1, "type": "bench", "run": "r1",
+                "medians": {"bench::one": 0.2}}]
+    result = trend_report(records)
+    markdown = render_trend_markdown(result)
+    assert "# Campaign trend report" in markdown
+    assert "| r1" in markdown
+    assert "bench::one" in markdown
+    assert "idct" in markdown
+    json_path = tmp_path / "trend" / "report.json"
+    md_path = tmp_path / "trend" / "report.md"
+    write_trend_report(result, json_path=str(json_path),
+                       markdown_path=str(md_path))
+    with open(json_path, "r", encoding="utf-8") as handle:
+        assert json.load(handle) == json.loads(json.dumps(result))
+    assert md_path.read_text(encoding="utf-8") == markdown
+
+
+def test_empty_history_renders_gracefully():
+    markdown = render_trend_markdown(trend_report([]))
+    assert "No campaign records yet" in markdown

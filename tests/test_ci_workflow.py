@@ -1,9 +1,9 @@
 """Lint of .github/workflows/ci.yml: the quality gate must stay wired.
 
 An ``act``-style dry parse: the workflow file is loaded as YAML and its
-structure asserted, so a refactor cannot silently drop the nightly fuzz,
-the perf-regression gate, the packaging smoke or the hygiene settings
-(concurrency cancellation, pip caching).
+structure asserted, so a refactor cannot silently drop the nightly campaign
+fleet, the perf-regression gate, the packaging smoke or the hygiene
+settings (concurrency cancellation, pip caching).
 """
 
 import os
@@ -15,6 +15,9 @@ yaml = pytest.importorskip("yaml")
 
 WORKFLOW = os.path.join(os.path.dirname(os.path.dirname(
     os.path.abspath(__file__))), ".github", "workflows", "ci.yml")
+
+#: The jobs gated on the nightly cron (every other job opts out of it).
+NIGHTLY_JOBS = {"campaign-shard", "campaign-merge"}
 
 
 @pytest.fixture(scope="module")
@@ -40,9 +43,15 @@ def _run_text(workflow, job):
     return "\n".join(step.get("run", "") for step in _steps(workflow, job))
 
 
+def _uploads(workflow, job):
+    return [step for step in _steps(workflow, job)
+            if str(step.get("uses", "")).startswith("actions/upload-artifact")]
+
+
 def test_workflow_parses_and_has_all_jobs(workflow):
     assert set(workflow["jobs"]) == {
-        "lint", "test", "coverage", "bench-smoke", "package", "fuzz-nightly"}
+        "lint", "test", "coverage", "bench-smoke", "package",
+        "campaign-shard", "campaign-merge"}
 
 
 def test_schedule_and_dispatch_triggers(workflow, triggers):
@@ -50,11 +59,12 @@ def test_schedule_and_dispatch_triggers(workflow, triggers):
     crons = [entry["cron"] for entry in triggers["schedule"]]
     assert len(crons) == 1 and len(crons[0].split()) == 5
     assert "workflow_dispatch" in triggers
-    # The nightly event only runs the fuzz job; every other job opts out.
+    # The nightly event only runs the campaign fleet; every other job opts
+    # out.
     for job, config in workflow["jobs"].items():
         condition = config.get("if", "")
-        if job == "fuzz-nightly":
-            assert "schedule" in condition
+        if job in NIGHTLY_JOBS:
+            assert "schedule" in condition, job
         else:
             assert "github.event_name != 'schedule'" in condition, job
 
@@ -75,7 +85,7 @@ def test_every_setup_python_step_caches_pip(workflow):
                 saw_setup += 1
                 assert step.get("with", {}).get("cache") == "pip", (
                     f"setup-python without pip cache in {uses}")
-    assert saw_setup >= 6
+    assert saw_setup >= 7
 
 
 def test_pr_scoped_fuzz_smoke_runs_in_the_test_job(workflow):
@@ -88,31 +98,84 @@ def test_pr_scoped_fuzz_smoke_runs_in_the_test_job(workflow):
     assert "--oracles" not in run_text
 
 
-def test_nightly_fuzz_job_budget_seed_and_artifact(workflow):
-    run_text = _run_text(workflow, "fuzz-nightly")
-    assert "--budget-seconds 600" in run_text
+def test_campaign_shard_matrix_matches_the_shard_count(workflow):
+    """The matrix fan-out and the spec's --shards value are one number: the
+    partition depends on the shard count, so a drifting matrix would run
+    overlapping (or missing) slices of the campaign."""
+    job = workflow["jobs"]["campaign-shard"]
+    shards = job["strategy"]["matrix"]["shard"]
+    assert shards == list(range(len(shards))), "shard indices must be 0..N-1"
+    assert len(shards) >= 2, "the nightly fleet must actually fan out"
+    run_text = _run_text(workflow, "campaign-shard")
+    assert f"--shards {len(shards)}" in run_text
+    assert "--shard ${{ matrix.shard }}" in run_text
+    assert "--nightly" in run_text
     assert "--seed-from-date" in run_text
-    assert "--corpus" in run_text
-    uploads = [step for step in _steps(workflow, "fuzz-nightly")
-               if str(step.get("uses", "")).startswith("actions/upload-artifact")]
-    assert uploads, "nightly corpus artifact upload missing"
-    assert any("fuzz-corpus" in str(step.get("with", {}).get("path", ""))
-               for step in uploads)
+    assert job["strategy"].get("fail-fast") is False, (
+        "one failing shard must not cancel the rest of the fleet")
+
+
+def test_campaign_shard_uploads_indexed_artifacts(workflow):
+    uploads = _uploads(workflow, "campaign-shard")
+    assert uploads, "shard artifact upload missing"
+    named = [str(step.get("with", {}).get("name", "")) for step in uploads]
+    assert "campaign-shard-${{ matrix.shard }}" in named
     assert all(step.get("if") == "always()" for step in uploads)
 
 
-def test_nightly_fuzz_uploads_per_oracle_timing_report(workflow):
-    """The nightly run must record where its 10-minute budget goes: the
-    --oracle-timings report (per-oracle check counts and latency summaries)
-    is written by the fuzz run and uploaded even when the run fails."""
-    run_text = _run_text(workflow, "fuzz-nightly")
-    assert "--oracle-timings oracle-timings.json" in run_text
-    uploads = [step for step in _steps(workflow, "fuzz-nightly")
-               if str(step.get("uses", "")).startswith("actions/upload-artifact")]
-    timing = [step for step in uploads
-              if "oracle-timings" in str(step.get("with", {}).get("path", ""))]
-    assert timing, "per-oracle timing artifact upload missing"
-    assert all(step.get("if") == "always()" for step in timing)
+def test_campaign_merge_fans_in_the_shard_artifacts(workflow):
+    job = workflow["jobs"]["campaign-merge"]
+    assert job.get("needs") == "campaign-shard"
+    downloads = [step for step in _steps(workflow, "campaign-merge")
+                 if str(step.get("uses", "")
+                        ).startswith("actions/download-artifact")]
+    assert downloads, "shard artifact download missing"
+    assert any(step.get("with", {}).get("pattern") == "campaign-shard-*"
+               for step in downloads)
+    run_text = _run_text(workflow, "campaign-merge")
+    assert "campaign merge" in run_text
+    assert "--history campaign-history.jsonl" in run_text
+    assert "campaign report" in run_text
+    named = [str(step.get("with", {}).get("name", ""))
+             for step in _uploads(workflow, "campaign-merge")]
+    assert "campaign-merged" in named
+    assert "campaign-trend" in named
+
+
+def test_trend_history_accumulates_via_the_cache(workflow):
+    """Both history writers (campaign-merge and bench-smoke) must restore
+    the newest history from the cache prefix and save under a fresh
+    run-scoped key — and the two keys must differ, because a
+    workflow_dispatch run executes both jobs under one run_id."""
+    keys = {}
+    for job in ("campaign-merge", "bench-smoke"):
+        restores = [step for step in _steps(workflow, job)
+                    if str(step.get("uses", "")
+                           ).startswith("actions/cache/restore")]
+        saves = [step for step in _steps(workflow, job)
+                 if str(step.get("uses", "")
+                        ).startswith("actions/cache/save")]
+        assert restores, f"{job}: history cache restore missing"
+        assert saves, f"{job}: history cache save missing"
+        assert any("campaign-history-" in str(step.get("with", {}
+                   ).get("restore-keys", "")) for step in restores), job
+        keys[job] = {str(step.get("with", {}).get("key", ""))
+                     for step in saves}
+    assert not (keys["campaign-merge"] & keys["bench-smoke"]), (
+        "merge and bench must save the history under distinct keys")
+
+
+def test_bench_job_appends_medians_to_the_trend_history(workflow):
+    run_text = _run_text(workflow, "bench-smoke")
+    assert "campaign bench" in run_text
+    assert "--timings benchmark-timings.json" in run_text
+    assert "--history campaign-history.jsonl" in run_text
+    # Appending must happen after the suite wrote the timings file.
+    assert run_text.index("--benchmark-json benchmark-timings.json") \
+        < run_text.index("campaign bench")
+    named = [str(step.get("with", {}).get("name", ""))
+             for step in _uploads(workflow, "bench-smoke")]
+    assert "campaign-history" in named
 
 
 def test_bench_job_uploads_a_perfetto_trace(workflow):
@@ -122,9 +185,7 @@ def test_bench_job_uploads_a_perfetto_trace(workflow):
     run_text = _run_text(workflow, "bench-smoke")
     assert "repro.cli profile sweep" in run_text
     assert "--chrome-out table4-trace.json" in run_text
-    uploads = [step for step in _steps(workflow, "bench-smoke")
-               if str(step.get("uses", "")).startswith("actions/upload-artifact")]
-    trace = [step for step in uploads
+    trace = [step for step in _uploads(workflow, "bench-smoke")
              if "table4-trace" in str(step.get("with", {}).get("path", ""))]
     assert trace, "Chrome trace artifact upload missing"
 
@@ -159,12 +220,15 @@ def test_packaging_job_builds_installs_and_imports(workflow):
     assert "pip install dist/" in run_text
     assert "import repro" in run_text
     assert "repro.explore" in run_text and "repro.verify" in run_text
+    assert "repro.campaign" in run_text
     assert "repro-verify" in run_text and "repro-explore" in run_text
-    # The unified dispatcher and the sweep-session layer must survive
-    # packaging: the `repro` script resolves and a one-point batched sweep
-    # runs from the installed wheel.
+    # The unified dispatcher, the sweep-session layer and the campaign
+    # planner must survive packaging: the `repro` script resolves, a
+    # one-point batched sweep runs and the nightly partition prints from
+    # the installed wheel.
     assert "repro --help" in run_text
     assert "repro sweep" in run_text
+    assert "repro campaign plan --nightly" in run_text
     assert "repro.flows.sweep" in run_text
 
 

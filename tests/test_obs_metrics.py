@@ -104,7 +104,8 @@ def test_cache_stats_covers_every_cache_layer(library):
     evaluate_point(IDCTPointFactory(rows=1), library, point)
 
     stats = cache_stats()
-    assert set(stats) == {"analysis_cache", "delta_seeds", "characterization"}
+    assert set(stats) == {"analysis_cache", "delta_seeds", "characterization",
+                          "jsonl_stores"}
     # The analysis-cache probe pulls the public cache_info() tables.
     for table in ("artifacts", "spans", "sequential_slack"):
         assert {"hits", "misses"} <= set(stats["analysis_cache"][table])

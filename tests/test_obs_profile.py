@@ -109,4 +109,5 @@ def test_markdown_report_renders_phases_spans_and_caches():
 def test_live_cache_summary_is_pulled_when_omitted():
     report = profile_report(forest())
     assert set(report["caches"]) \
-        == {"analysis_cache", "delta_seeds", "characterization"}
+        == {"analysis_cache", "delta_seeds", "characterization",
+            "jsonl_stores"}

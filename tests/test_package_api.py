@@ -66,6 +66,9 @@ PINNED_SURFACE = {
     "DSEEngine", "PointArtifacts", "conventional_flow", "slack_based_flow",
     # exploration
     "AdaptiveExplorer", "RefinementPolicy", "ResultStore",
+    # campaign layer
+    "CampaignSpec", "plan_shards", "run_shard", "merge_shards",
+    "trend_report",
     # verification
     "ORACLES", "Oracle", "oracle",
     # observability
