@@ -28,6 +28,10 @@ The package implements a complete high-level-synthesis (HLS) research stack:
   JSON-safe spec with a deterministic N-way partition, per-shard runners,
   a byte-stable order-invariant fan-in merge and trend reporting
   (``repro campaign``; CI's nightly matrix).
+* :mod:`repro.serve` — the memoizing multi-tenant DSE service: a
+  persistent job queue, a retry/deadline policy around every job and a
+  shared fingerprint-keyed memo tier, behind plain-callable endpoints, a
+  stdlib HTTP front end and ``repro serve``.
 * :mod:`repro.obs` — observability: hierarchical span tracing, the
   process-wide metrics registry, phase profiling and trace export
   (``repro profile``, ``--trace-out``).  Observation-only by contract:
@@ -56,6 +60,7 @@ from repro.errors import (
     SchedulingError,
     BindingError,
     InfeasibleDesignError,
+    DeadlineExceeded,
 )
 
 #: The curated top-level API: evaluation sessions, sweep harnesses, the
@@ -88,6 +93,11 @@ _PUBLIC_API = {
     "run_shard": "repro.campaign.shard",
     "merge_shards": "repro.campaign.merge",
     "trend_report": "repro.campaign.trend",
+    # serve layer (the memoizing multi-tenant DSE service)
+    "DSEService": "repro.serve.service",
+    "JobSpec": "repro.serve.jobs",
+    "MemoCache": "repro.serve.cache",
+    "RetryPolicy": "repro.serve.retry",
     # verification layer (the oracle registry drives fuzzing and the CLI)
     "ORACLES": "repro.verify.oracles",
     "Oracle": "repro.verify.oracles",
@@ -109,6 +119,7 @@ __all__ = [
     "SchedulingError",
     "BindingError",
     "InfeasibleDesignError",
+    "DeadlineExceeded",
 ] + sorted(_PUBLIC_API)
 
 

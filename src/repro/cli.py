@@ -42,6 +42,8 @@ commands:
   sweep     batched DSE sweep via SweepSession (see: repro sweep --help)
   campaign  sharded campaigns: plan / run-shard / merge / report / bench
                                                (see: repro campaign --help)
+  serve     memoizing multi-tenant DSE service: submit / run / status /
+            result / stats / http / smoke      (see: repro serve --help)
   profile   run a command under the span tracer and print the phase
             breakdown                          (see: repro profile --help)
 
@@ -174,6 +176,10 @@ def _run_command(command: str, rest: Sequence[str]) -> Optional[int]:
         from repro.campaign.cli import main as campaign_main
 
         return campaign_main(list(rest))
+    if command == "serve":
+        from repro.serve.cli import main as serve_main
+
+        return serve_main(list(rest))
     if command == "profile":
         return _profile_main(rest)
     return None

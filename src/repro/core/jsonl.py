@@ -10,19 +10,86 @@ lines, corrupt lines and unrecognised records by *skipping* them, never by
 failing.  This module is that dialect, factored out so a robustness fix
 lands in both stores at once; the keying policy (what identifies a record,
 which record wins) stays with each store.
+
+Concurrency discipline (the serve layer's worker pool is the first
+multi-writer client, but campaign shards on a shared filesystem hit the
+same races):
+
+* every **append** takes an exclusive advisory lock on a stable sidecar
+  file (``<path>.lock`` — the data file itself is the wrong lock object,
+  because compaction replaces its inode), writes the whole batch as one
+  buffered write, flushes, and ``fsync``\\ s before releasing the lock.
+  Two workers can therefore never interleave partial lines, and a crash
+  after the append returns cannot lose the line;
+* every **rewrite** (compaction) holds the same lock while writing a
+  temporary file in the target directory and atomically ``os.replace``\\ ing
+  it over the store — a reader never observes a half-written store, and an
+  appender blocked on the lock reopens the *new* inode once the rewrite
+  finishes (open-after-lock, see :func:`locked`);
+* **reads** take no lock: appends are single whole-line writes and
+  rewrites are atomic replaces, so a concurrent reader sees a clean
+  prefix of complete lines at worst.  The tolerant loader plus the
+  ``jsonl.skipped_lines`` telemetry below covers the residual risk.
+
+On platforms without ``fcntl`` (Windows) the advisory lock degrades to a
+no-op and the dialect falls back to its historical flush-only behaviour.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
-from typing import Callable, Dict, Iterable, List, Tuple
+import tempfile
+from typing import Callable, Dict, Iterable, Iterator, List, Sequence, Tuple
+
+try:  # pragma: no cover - platform probe
+    import fcntl
+except ImportError:  # pragma: no cover - Windows fallback
+    fcntl = None  # type: ignore[assignment]
 
 from repro.obs.metrics import counter as _obs_counter
 
 #: Process-wide count of lines every loader tolerated and dropped (corrupt
 #: JSON, non-dict payloads, schema rejections) — the silent-skip telemetry.
 _SKIPPED_LINES = _obs_counter("jsonl.skipped_lines")
+
+#: Process-wide append telemetry: records written through the locked path.
+_APPENDED_RECORDS = _obs_counter("jsonl.appended_records")
+
+#: Suffix of the sidecar lock file next to every JSONL store.
+LOCK_SUFFIX = ".lock"
+
+
+def lock_path(path: str) -> str:
+    """The sidecar advisory-lock file guarding writes to ``path``."""
+    return path + LOCK_SUFFIX
+
+
+@contextlib.contextmanager
+def locked(path: str) -> Iterator[None]:
+    """Hold the exclusive advisory lock of the JSONL store at ``path``.
+
+    The lock lives on the ``<path>.lock`` sidecar, whose inode is stable
+    across compactions (``os.replace`` swaps the data file's inode, so a
+    lock on the data file would silently stop excluding writers that
+    opened it before a rewrite).  Writers must *open the data file after
+    acquiring the lock*, which both :func:`append_records` and
+    :func:`rewrite_records` do; see the module docstring for the full
+    discipline.  Reentrant use in one process deadlocks — the stores never
+    nest writes.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    if fcntl is None:  # pragma: no cover - Windows fallback
+        yield
+        return
+    with open(lock_path(path), "a", encoding="utf-8") as sidecar:
+        fcntl.flock(sidecar.fileno(), fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(sidecar.fileno(), fcntl.LOCK_UN)
 
 
 def dump_record(record: Dict[str, object]) -> str:
@@ -76,13 +143,32 @@ def load_records(
     return records, skipped
 
 
+def append_records(path: str,
+                   records: Sequence[Dict[str, object]]) -> int:
+    """Append a batch of records under the store lock; returns the count.
+
+    The whole batch is serialised first and written as **one** buffered
+    write while the advisory lock is held, then flushed and ``fsync``\\ ed
+    before the lock is released — so concurrent writers can never
+    interleave partial lines and a line that this call reported written
+    survives a crash of the process (and, on journalling filesystems, of
+    the machine).
+    """
+    if not records:
+        return 0
+    payload = "".join(dump_record(record) + "\n" for record in records)
+    with locked(path):
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+    _APPENDED_RECORDS.inc(len(records))
+    return len(records)
+
+
 def append_record(path: str, record: Dict[str, object]) -> None:
-    """Append one record (parent directories created, line flushed)."""
-    directory = os.path.dirname(os.path.abspath(path))
-    os.makedirs(directory, exist_ok=True)
-    with open(path, "a", encoding="utf-8") as handle:
-        handle.write(dump_record(record) + "\n")
-        handle.flush()
+    """Append one record (parent directories created, locked, fsynced)."""
+    append_records(path, [record])
 
 
 def rewrite_records(path: str,
@@ -90,13 +176,26 @@ def rewrite_records(path: str,
     """Write every record once, in order; returns the count.
 
     The canonical serialisation makes compaction reproducible: rewriting
-    the same records twice produces byte-identical files.
+    the same records twice produces byte-identical files.  The write is
+    crash-safe and atomic: records land in a temporary file in the target
+    directory (flushed and fsynced) which then ``os.replace``\\ s the store,
+    all under the store lock — a reader never sees a partially rewritten
+    file and a concurrent appender blocks until the new inode is in place.
     """
     directory = os.path.dirname(os.path.abspath(path))
-    os.makedirs(directory, exist_ok=True)
     count = 0
-    with open(path, "w", encoding="utf-8") as handle:
-        for record in records:
-            handle.write(dump_record(record) + "\n")
-            count += 1
+    with locked(path):
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                for record in records:
+                    handle.write(dump_record(record) + "\n")
+                    count += 1
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, path)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
     return count

@@ -55,3 +55,12 @@ class InfeasibleDesignError(SchedulingError):
     Mirrors the "design is overconstrained" outcome of the expert system in
     the paper's Fig. 8 scheduling framework.
     """
+
+
+class DeadlineExceeded(ReproError):
+    """Raised when a deadline-bounded call ran out of wall-clock budget.
+
+    Raised by :func:`repro.core.deadline.call_with_deadline` and consumed
+    by the serve layer's retry policy and the fuzzer's per-oracle budget
+    enforcement; it means "the work was cut off", never "the work failed".
+    """

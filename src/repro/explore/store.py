@@ -37,7 +37,12 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.core.analysis_cache import design_fingerprint
-from repro.core.jsonl import append_record, load_records
+from repro.core.jsonl import (
+    append_record,
+    dump_record,
+    load_records,
+    rewrite_records,
+)
 from repro.errors import ReproError
 
 SCHEMA_VERSION = 1
@@ -111,6 +116,10 @@ class ResultStore:
         self.path = path
         self._records: Dict[StoreKey, Dict[str, object]] = {}
         self.skipped_lines = 0
+        #: Accepted lines currently on disk, superseded ones included —
+        #: the append-only file keeps every re-put of a key, so this can
+        #: exceed ``len(self)``; the difference is :attr:`stale_lines`.
+        self._disk_lines = 0
         if path is not None:
             self._load(path)
 
@@ -131,6 +140,7 @@ class ResultStore:
                 self.skipped_lines += 1
                 continue
             self._records[key] = record
+            self._disk_lines += 1
 
     # -- queries -----------------------------------------------------------------
 
@@ -185,8 +195,48 @@ class ResultStore:
         }
         if self.path is not None:
             append_record(self.path, record)
+            self._disk_lines += 1
         self._records[key] = record
         return record
+
+    # -- compaction ----------------------------------------------------------------
+
+    @property
+    def stale_lines(self) -> int:
+        """Disk lines whose record has been superseded by a later put.
+
+        Repeat traffic on a persistent store appends one line per
+        :meth:`put` even when the key already exists (the in-memory index
+        is last-record-wins, the file is append-only), so the file grows
+        without bound while ``len(store)`` stays flat.  This counter is the
+        growth signal the serve cache tier's compaction policy watches.
+        """
+        return self._disk_lines - len(self._records)
+
+    def compact(self, path: Optional[str] = None) -> int:
+        """Rewrite the store as its live records only; returns the count.
+
+        Output follows the campaign merge layer's canonicalisation
+        (:mod:`repro.campaign.merge`): every record as its canonical
+        sorted-keys line, lines in lexicographic order.  Compacting twice
+        is therefore byte-identical, and a compacted store re-merged
+        through :func:`repro.campaign.merge.merge_stores` reproduces
+        itself byte for byte.  The rewrite is atomic and advisory-locked
+        (:func:`repro.core.jsonl.rewrite_records`), so concurrent
+        appenders block rather than interleave.
+
+        ``path`` defaults to the store's own file; an in-memory store
+        needs an explicit target.
+        """
+        target = path if path is not None else self.path
+        if target is None:
+            raise ReproError("an in-memory store needs an explicit path")
+        lines = sorted(dump_record(record)
+                       for record in self._records.values())
+        count = rewrite_records(target, (json.loads(line) for line in lines))
+        if target == self.path:
+            self._disk_lines = count
+        return count
 
     # -- DSEResult import / export -------------------------------------------------
 

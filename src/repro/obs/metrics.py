@@ -279,10 +279,14 @@ def cache_stats() -> Dict[str, Dict[str, object]]:
       (:data:`repro.lib.characterize._CLASS_CACHE`) hit/miss/size;
     * ``jsonl_stores`` — lines the append-only JSONL loaders
       (:mod:`repro.core.jsonl`: result stores, corpora, trend histories)
-      tolerated and dropped.  A non-zero ``skipped_lines`` means some
-      store on disk is corrupt or truncated — the per-store
-      ``skipped_lines`` attributes and the campaign merge reports say
-      which.
+      tolerated and dropped, plus records written through the locked
+      append path.  A non-zero ``skipped_lines`` means some store on disk
+      is corrupt or truncated — the per-store ``skipped_lines`` attributes
+      and the campaign merge reports say which;
+    * ``serve`` — the serve layer's shared memo tier
+      (:class:`repro.serve.cache.MemoCache`): process-wide cache
+      hit/miss/put tallies and the number of stale-line compactions its
+      policy triggered.
 
     This is the single entry point behind the profile reports'
     cache-efficiency summary.
@@ -297,6 +301,13 @@ def cache_stats() -> Dict[str, Dict[str, object]]:
         "characterization": dict(_characterization_probe()),
         "jsonl_stores": {
             "skipped_lines": counter("jsonl.skipped_lines").value,
+            "appended_records": counter("jsonl.appended_records").value,
+        },
+        "serve": {
+            "hits": counter("serve.cache.hits").value,
+            "misses": counter("serve.cache.misses").value,
+            "puts": counter("serve.cache.puts").value,
+            "compactions": counter("serve.cache.compactions").value,
         },
     }
     return stats

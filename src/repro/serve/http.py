@@ -1,0 +1,123 @@
+"""Stdlib HTTP front end over the service (no sockets in the tests).
+
+The whole protocol lives in :func:`route_request`, a pure function from
+``(service, method, path, body)`` to ``(status_code, payload)``.  The
+request handler below is a thin shell around it that parses JSON bodies and
+writes JSON responses — which is why the endpoint tests drive
+:func:`route_request` directly against a fake-backed service and never open
+a socket; the socket path adds nothing but I/O.
+
+Routes::
+
+    POST /submit            body: JobSpec dict      -> 200 {job_id, ...}
+    GET  /status/<job_id>                           -> 200 status dict
+    GET  /result/<job_id>                           -> 200 {job_id, result}
+    POST /cancel/<job_id>                           -> 200 {job_id, state}
+    GET  /stats                                     -> 200 stats dict
+    GET  /healthz                                   -> 200 {"ok": true}
+
+Errors map onto conventional codes: unknown job id -> 404, wrong job state
+(result of an unfinished job, cancel of a running one) -> 409, any other
+:class:`~repro.errors.ReproError` (malformed spec, bad payload) -> 400.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.serve.service import DSEService, JobStateError, UnknownJobError
+
+
+def route_request(
+    service: DSEService,
+    method: str,
+    path: str,
+    body: Optional[Mapping[str, object]] = None,
+) -> Tuple[int, Dict[str, object]]:
+    """Dispatch one request; returns ``(http_status, json_payload)``."""
+    method = method.upper()
+    parts = [part for part in path.split("/") if part]
+    try:
+        if method == "POST" and parts == ["submit"]:
+            if body is None:
+                return 400, {"error": "submit expects a JSON job spec body"}
+            return 200, service.submit(body)
+        if method == "GET" and len(parts) == 2 and parts[0] == "status":
+            return 200, service.status(parts[1])
+        if method == "GET" and len(parts) == 2 and parts[0] == "result":
+            return 200, service.result(parts[1])
+        if method == "POST" and len(parts) == 2 and parts[0] == "cancel":
+            return 200, service.cancel(parts[1])
+        if method == "GET" and parts == ["stats"]:
+            return 200, service.stats()
+        if method == "GET" and parts == ["healthz"]:
+            return 200, {"ok": True}
+    except UnknownJobError as exc:
+        return 404, {"error": str(exc)}
+    except JobStateError as exc:
+        return 409, {"error": str(exc)}
+    except ReproError as exc:
+        return 400, {"error": str(exc)}
+    return 404, {"error": f"no route for {method} {path}"}
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Thin JSON shell over :func:`route_request` (the server owns the
+    service via :attr:`ServiceHTTPServer.service`)."""
+
+    server_version = "repro-serve/1"
+
+    def _respond(self, status: int, payload: Dict[str, object]) -> None:
+        data = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _body(self) -> Optional[Mapping[str, object]]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            return None
+        raw = self.rfile.read(length)
+        try:
+            parsed = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            return None
+        return parsed if isinstance(parsed, dict) else None
+
+    def _handle(self, method: str) -> None:
+        service = self.server.service  # type: ignore[attr-defined]
+        status, payload = route_request(service, method, self.path,
+                                        self._body() if method == "POST"
+                                        else None)
+        self._respond(status, payload)
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server naming
+        self._handle("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server naming
+        self._handle("POST")
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # request logging stays with the service's obs layer
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`DSEService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address, service: DSEService):
+        super().__init__(address, ServiceRequestHandler)
+        self.service = service
+
+
+def make_server(service: DSEService, host: str = "127.0.0.1",
+                port: int = 0) -> ServiceHTTPServer:
+    """Bind (but do not start) the HTTP front end; ``port=0`` picks a free
+    port (read it back from ``server.server_address``)."""
+    return ServiceHTTPServer((host, port), service)

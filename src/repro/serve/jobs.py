@@ -1,0 +1,200 @@
+"""The service's job model: JSON-safe request specs and job records.
+
+A :class:`JobSpec` is what a tenant submits: one of three kinds, each
+reusing an existing JSON-safe payload dialect instead of inventing a new
+one —
+
+* ``"submit-design"`` — a :class:`repro.verify.scenarios.ScenarioSpec`
+  dict: evaluate one concrete design (structure + clock/II/margin knobs)
+  through both flows;
+* ``"sweep"`` — a :class:`repro.campaign.spec.SweepJob` dict: a workload
+  crossed with latency/clock/II grids, evaluated point by point in the
+  job's canonical :meth:`~repro.campaign.spec.SweepJob.points` order;
+* ``"explore"`` — a :class:`repro.campaign.spec.ExploreJob` dict: an
+  adaptive Pareto exploration (:class:`repro.explore.adaptive.AdaptiveExplorer`).
+
+Payloads are validated eagerly at construction (:meth:`JobSpec.parse_payload`
+round-trips them through the owning layer's ``from_dict``), so a malformed
+submission is rejected at the submit endpoint, not discovered by a worker.
+
+A :class:`JobRecord` is the queue's unit of state: the spec plus the job's
+lifecycle (``pending -> running -> done | failed | timeout``, with
+``cancelled`` reachable from ``pending`` only), its JSON-safe result or
+structured failure, and the attempt ledger the retry policy produced.  The
+record round-trips through :meth:`to_dict`/:meth:`from_dict` because the
+queue persists every transition as one JSONL line.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.errors import ReproError
+
+JOB_SCHEMA = 1
+
+KIND_SUBMIT_DESIGN = "submit-design"
+KIND_SWEEP = "sweep"
+KIND_EXPLORE = "explore"
+JOB_KINDS = (KIND_SUBMIT_DESIGN, KIND_SWEEP, KIND_EXPLORE)
+
+#: Lifecycle states; the last four are terminal.
+JOB_STATES = ("pending", "running", "done", "failed", "cancelled", "timeout")
+TERMINAL_STATES = ("done", "failed", "cancelled", "timeout")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One submitted request: kind + JSON-safe payload + tenant tag.
+
+    ``tenant`` is a free-form namespace label: jobs and results are
+    reported per tenant, but the memo tier is deliberately shared — two
+    tenants evaluating the same design at the same knobs hit one store
+    record (the whole point of a multi-tenant cache).
+    """
+
+    kind: str
+    payload: Mapping[str, object] = field(default_factory=dict)
+    tenant: str = "default"
+
+    def __post_init__(self):
+        if self.kind not in JOB_KINDS:
+            raise ReproError(f"unknown job kind {self.kind!r}; expected one "
+                             f"of {list(JOB_KINDS)}")
+        if not isinstance(self.payload, Mapping):
+            raise ReproError(f"job payload must be a JSON object, got "
+                             f"{type(self.payload).__name__}")
+        # Freeze a plain-dict copy and validate it eagerly: reject at the
+        # submit endpoint, not in a worker three retries later.
+        object.__setattr__(self, "payload",
+                           json.loads(json.dumps(dict(self.payload))))
+        self.parse_payload()
+
+    def parse_payload(self):
+        """The payload as its owning layer's object (validates on the way).
+
+        Returns a :class:`~repro.verify.scenarios.ScenarioSpec`,
+        :class:`~repro.campaign.spec.SweepJob` or
+        :class:`~repro.campaign.spec.ExploreJob` depending on :attr:`kind`.
+        """
+        if self.kind == KIND_SUBMIT_DESIGN:
+            from repro.verify.scenarios import ScenarioSpec
+
+            return ScenarioSpec.from_dict(dict(self.payload))
+        if self.kind == KIND_SWEEP:
+            from repro.campaign.spec import SweepJob
+
+            return self._check_workload(SweepJob.from_dict(self.payload))
+        from repro.campaign.spec import ExploreJob
+
+        return self._check_workload(ExploreJob.from_dict(self.payload))
+
+    @staticmethod
+    def _check_workload(job):
+        # SweepJob/ExploreJob only resolve their workload name when a
+        # worker builds the factory; resolve it here so an unknown name is
+        # rejected at submit time like every other payload defect.
+        try:
+            job.factory()
+        except ValueError as exc:
+            raise ReproError(str(exc)) from exc
+        return job
+
+    def fingerprint(self) -> str:
+        """A stable identity of the request (kind + canonical payload).
+
+        Tenant-independent on purpose: it identifies the *work*, which is
+        what the shared memo tier dedups; the job id identifies the
+        submission.
+        """
+        canonical = json.dumps({"kind": self.kind, "payload": self.payload},
+                               sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": JOB_SCHEMA,
+            "kind": self.kind,
+            "payload": dict(self.payload),
+            "tenant": self.tenant,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "JobSpec":
+        if data.get("schema") not in (None, JOB_SCHEMA):
+            raise ReproError(f"unknown job spec schema {data.get('schema')!r} "
+                             f"(expected {JOB_SCHEMA})")
+        payload = data.get("payload", {})
+        if not isinstance(payload, Mapping):
+            raise ReproError("job spec 'payload' must be a JSON object")
+        return cls(kind=str(data.get("kind", "")),
+                   payload=payload,
+                   tenant=str(data.get("tenant", "default")))
+
+
+@dataclass
+class JobRecord:
+    """One job's full queue state (JSON-safe, last-transition-wins)."""
+
+    job_id: str
+    spec: JobSpec
+    state: str = "pending"
+    #: Monotonic submission sequence number — the queue's FIFO order and
+    #: the tie-breaker when a persisted queue is reloaded.
+    seq: int = 0
+    result: Optional[Dict[str, object]] = None
+    failure: Optional[Dict[str, object]] = None
+    attempts: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def status(self) -> Dict[str, object]:
+        """The status-endpoint view (everything except the result body)."""
+        return {
+            "job_id": self.job_id,
+            "state": self.state,
+            "kind": self.spec.kind,
+            "tenant": self.spec.tenant,
+            "fingerprint": self.spec.fingerprint(),
+            "attempts": len(self.attempts),
+            "failure": self.failure,
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": JOB_SCHEMA,
+            "job_id": self.job_id,
+            "seq": self.seq,
+            "state": self.state,
+            "spec": self.spec.to_dict(),
+            "result": self.result,
+            "failure": self.failure,
+            "attempts": list(self.attempts),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "JobRecord":
+        state = str(data.get("state", "pending"))
+        if state not in JOB_STATES:
+            raise ReproError(f"unknown job state {state!r}")
+        spec = data.get("spec")
+        if not isinstance(spec, Mapping):
+            raise ReproError("job record 'spec' must be a JSON object")
+        result = data.get("result")
+        failure = data.get("failure")
+        attempts = data.get("attempts", [])
+        return cls(
+            job_id=str(data["job_id"]),
+            spec=JobSpec.from_dict(spec),
+            state=state,
+            seq=int(data.get("seq", 0)),  # type: ignore[arg-type]
+            result=dict(result) if isinstance(result, Mapping) else None,
+            failure=dict(failure) if isinstance(failure, Mapping) else None,
+            attempts=[dict(a) for a in attempts
+                      if isinstance(a, Mapping)],  # type: ignore[union-attr]
+        )

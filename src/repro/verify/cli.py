@@ -60,6 +60,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--budget-seconds", type=float, default=None, metavar="S",
                      help="wall-clock budget; stops drawing scenarios once "
                           "exceeded")
+    run.add_argument("--oracle-deadline", type=float, default=None,
+                     metavar="S",
+                     help="per-oracle wall-clock deadline; a hanging oracle "
+                          "is abandoned at the deadline and recorded as a "
+                          "structured timeout failure instead of stalling "
+                          "the run (default: unbounded, except that "
+                          "--budget-seconds always caps each call at the "
+                          "remaining budget)")
     seed_group = run.add_mutually_exclusive_group()
     seed_group.add_argument("--seed", type=int, default=0,
                             help="base seed of the scenario stream (default 0)")
@@ -132,6 +140,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         shrink=not args.no_shrink,
         shrink_evaluations=args.shrink_evaluations,
         profile=profile,
+        oracle_deadline_seconds=args.oracle_deadline,
     )
 
     print(f"seed {seed}: {report.iterations} scenario check(s) in "

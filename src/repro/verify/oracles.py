@@ -84,11 +84,19 @@ _ABS_TOL = 1e-6
 
 @dataclass(frozen=True)
 class OracleOutcome:
-    """The verdict of one oracle on one scenario."""
+    """The verdict of one oracle on one scenario.
+
+    ``timed_out`` marks the structured *timeout* outcome: the oracle was
+    abandoned at its wall-clock deadline (see
+    :func:`repro.verify.runner.run_oracle_guarded`), so ``ok=False`` means
+    "unchecked in time", not "disagreement" — the runner records it but
+    never tries to shrink it (every shrink probe would hang again).
+    """
 
     oracle: str
     ok: bool
     details: str = ""
+    timed_out: bool = False
 
 
 @dataclass(frozen=True)

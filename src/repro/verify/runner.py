@@ -23,6 +23,8 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from repro.core.deadline import call_with_deadline
+from repro.errors import DeadlineExceeded
 from repro.lib.library import Library
 from repro.obs.metrics import counter as _obs_counter, histogram as _obs_histogram
 from repro.obs.trace import span as _obs_span
@@ -43,10 +45,13 @@ from repro.verify.shrink import ShrinkResult, shrink_spec
 _ORACLE_PASS = _obs_counter("oracle.pass")
 _ORACLE_FAIL = _obs_counter("oracle.fail")
 _ORACLE_CRASH = _obs_counter("oracle.crash")
+_ORACLE_TIMEOUT = _obs_counter("oracle.timeout")
 
 
 def run_oracle_guarded(oracle: Oracle, spec: ScenarioSpec,
-                       library: Library) -> OracleOutcome:
+                       library: Library,
+                       deadline_seconds: Optional[float] = None,
+                       ) -> OracleOutcome:
     """Run an oracle; an escaped exception becomes a violation, not an abort.
 
     Oracles themselves arbitrate *expected* failures (paired
@@ -55,16 +60,32 @@ def run_oracle_guarded(oracle: Oracle, spec: ScenarioSpec,
     — is exactly the crash-bug class the fuzzer exists to find.  It must be
     recorded and shrunk like any other violation instead of killing the run
     and losing the seed.
+
+    ``deadline_seconds`` bounds the oracle's wall clock
+    (:func:`repro.core.deadline.call_with_deadline`): a crash-guarded
+    oracle that *hangs* rather than raises used to stall the whole run —
+    past the nightly's ``--budget-seconds``, since the budget was only
+    checked between iterations.  At the deadline the oracle is abandoned
+    and a structured ``timed_out`` outcome is recorded instead; the
+    campaign shard moves on.
     """
     start = time.perf_counter()
     with _obs_span("oracle.run", oracle=oracle.name) as obs:
         try:
-            outcome = oracle.run(spec, library)
+            outcome = call_with_deadline(
+                lambda: oracle.run(spec, library), deadline_seconds,
+                what=f"oracle {oracle.name!r}")
             if outcome.ok:
                 _ORACLE_PASS.inc()
             else:
                 _ORACLE_FAIL.inc()
                 obs.set(ok=False)
+        except DeadlineExceeded as exc:
+            _ORACLE_TIMEOUT.inc()
+            obs.set(ok=False, timeout=True)
+            outcome = OracleOutcome(
+                oracle=oracle.name, ok=False, timed_out=True,
+                details=f"timeout: {exc}")
         except Exception as exc:  # noqa: BLE001 — crash capture is the point
             _ORACLE_CRASH.inc()
             obs.set(ok=False, crash=type(exc).__name__)
@@ -87,6 +108,9 @@ class FuzzFailure:
     spec: ScenarioSpec
     fingerprint: str
     shrunk: Optional[ShrinkResult] = None
+    #: The oracle hit its wall-clock deadline (a structured timeout, never
+    #: shrunk — every shrink probe would hang the same way).
+    timed_out: bool = False
 
     @property
     def reproducer(self) -> ScenarioSpec:
@@ -108,6 +132,11 @@ class FuzzReport:
     @property
     def ok(self) -> bool:
         return not self.failures
+
+    @property
+    def timeouts(self) -> List[FuzzFailure]:
+        """The failures that are deadline cut-offs, not disagreements."""
+        return [failure for failure in self.failures if failure.timed_out]
 
     @property
     def scenario_digest(self) -> str:
@@ -132,6 +161,7 @@ def run_fuzz(
     library: Optional[Library] = None,
     profile: Optional[ScenarioProfile] = None,
     progress: Optional[Callable[[int, ScenarioSpec, OracleOutcome], None]] = None,
+    oracle_deadline_seconds: Optional[float] = None,
 ) -> FuzzReport:
     """Run the differential fuzzing loop and return its report.
 
@@ -139,6 +169,14 @@ def run_fuzz(
     two budgets must be set).  Violations are appended to ``corpus`` (when
     given) as a ``failure`` record plus, when ``shrink`` is on, a ``shrunk``
     record keyed by the minimized design's fingerprint.
+
+    Deadlines: each oracle call is bounded by ``oracle_deadline_seconds``
+    and, when ``budget_seconds`` is set, by the *remaining* budget —
+    whichever is tighter.  A hanging oracle therefore cannot stall the run
+    past its wall-clock budget (the old behaviour: the budget was only
+    consulted between iterations, so one hung check blocked a nightly
+    shard forever); it is abandoned at the deadline and recorded as a
+    structured ``timed_out`` failure, which is deliberately never shrunk.
     """
     if iterations is None and budget_seconds is None:
         raise ValueError("set iterations and/or budget_seconds")
@@ -146,6 +184,13 @@ def run_fuzz(
     oracles = select_oracles(oracle_names)
     report = FuzzReport(seed=seed)
     start = time.perf_counter()
+
+    def remaining_deadline() -> Optional[float]:
+        deadline = oracle_deadline_seconds
+        if budget_seconds is not None:
+            left = budget_seconds - (time.perf_counter() - start)
+            deadline = left if deadline is None else min(deadline, left)
+        return deadline
 
     for iteration, spec in scenario_stream(seed, iterations, profile=profile):
         if budget_seconds is not None \
@@ -155,7 +200,8 @@ def run_fuzz(
         oracle = oracles[iteration % len(oracles)]
         fingerprint = spec.fingerprint()
         report.fingerprints.append(fingerprint)
-        outcome = run_oracle_guarded(oracle, spec, library)
+        outcome = run_oracle_guarded(oracle, spec, library,
+                                     deadline_seconds=remaining_deadline())
         report.iterations += 1
         report.checked_per_oracle[oracle.name] = \
             report.checked_per_oracle.get(oracle.name, 0) + 1
@@ -166,14 +212,16 @@ def run_fuzz(
 
         failure = FuzzFailure(iteration=iteration, oracle=oracle.name,
                               details=outcome.details, spec=spec,
-                              fingerprint=fingerprint)
+                              fingerprint=fingerprint,
+                              timed_out=outcome.timed_out)
         if corpus is not None:
             corpus.add(spec, oracle.name, outcome.details,
                        kind="failure", fingerprint=fingerprint)
-        if shrink:
+        if shrink and not outcome.timed_out:
             failure.shrunk = shrink_failure(
                 failure, oracle, library=library,
-                max_evaluations=shrink_evaluations)
+                max_evaluations=shrink_evaluations,
+                deadline_seconds=remaining_deadline())
             if corpus is not None and failure.shrunk.accepted_steps:
                 shrunk_spec = failure.shrunk.spec
                 # Store the shrunk spec's *own* violation message — the
@@ -192,12 +240,22 @@ def run_fuzz(
 
 def shrink_failure(failure: FuzzFailure, oracle: Oracle,
                    library: Optional[Library] = None,
-                   max_evaluations: int = 200) -> ShrinkResult:
-    """Minimize a failure's spec while the same oracle keeps failing."""
+                   max_evaluations: int = 200,
+                   deadline_seconds: Optional[float] = None) -> ShrinkResult:
+    """Minimize a failure's spec while the same oracle keeps failing.
+
+    ``deadline_seconds`` bounds each shrink probe the same way the fuzz
+    loop bounds the original check.  A probe cut off at its deadline gives
+    *no* signal — the candidate is conservatively treated as not-failing
+    (the parent spec is kept) rather than letting an unchecked candidate
+    masquerade as a confirmed reproducer.
+    """
     library = library if library is not None else default_library()
 
     def still_fails(candidate: ScenarioSpec) -> bool:
-        return not run_oracle_guarded(oracle, candidate, library).ok
+        outcome = run_oracle_guarded(oracle, candidate, library,
+                                     deadline_seconds=deadline_seconds)
+        return not outcome.ok and not outcome.timed_out
 
     return shrink_spec(failure.spec, still_fails,
                        max_evaluations=max_evaluations)

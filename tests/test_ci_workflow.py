@@ -98,6 +98,16 @@ def test_pr_scoped_fuzz_smoke_runs_in_the_test_job(workflow):
     assert "--oracles" not in run_text
 
 
+def test_serve_smoke_gate_is_wired(workflow):
+    """The serve-layer memoization gate must run in the PR test matrix and
+    from the installed wheel: a cold+warm round trip whose warm resubmit
+    performs zero new flow evaluations (see ``repro serve smoke``)."""
+    assert "python -m repro.serve smoke" in _run_text(workflow, "test")
+    package_text = _run_text(workflow, "package")
+    assert "repro serve smoke" in package_text
+    assert "repro.serve" in package_text  # the wheel must ship the package
+
+
 def test_campaign_shard_matrix_matches_the_shard_count(workflow):
     """The matrix fan-out and the spec's --shards value are one number: the
     partition depends on the shard count, so a drifting matrix would run

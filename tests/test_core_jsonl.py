@@ -1,0 +1,183 @@
+"""Tests of the shared JSONL dialect: locking, durability, compaction.
+
+The multiprocess hammer is the regression test for the append race the
+serve layer's worker pool exposed: several writers appending to one store
+without coordination could interleave partial lines, which the tolerant
+loader then *silently skipped* — lost results masquerading as a clean
+store.  The locked flush-then-fsync append path must keep
+``skipped_lines`` at exactly zero under concurrent load.
+"""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.core.jsonl import (
+    append_record,
+    append_records,
+    dump_record,
+    load_records,
+    lock_path,
+    locked,
+    rewrite_records,
+)
+
+
+def accept_all(record):
+    return True
+
+
+# -- basic dialect -----------------------------------------------------------------
+
+
+class TestAppendAndLoad:
+    def test_append_creates_parents_and_round_trips(self, tmp_path):
+        path = str(tmp_path / "deep" / "nested" / "store.jsonl")
+        append_record(path, {"b": 2, "a": 1})
+        records, skipped = load_records(path, accept_all)
+        assert records == [{"a": 1, "b": 2}]
+        assert skipped == 0
+
+    def test_lines_are_canonical_sorted_keys(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        append_record(path, {"z": 1, "a": {"y": 2, "b": 3}})
+        with open(path, "r", encoding="utf-8") as handle:
+            line = handle.read().rstrip("\n")
+        assert line == dump_record({"z": 1, "a": {"y": 2, "b": 3}})
+        assert line == '{"a": {"b": 3, "y": 2}, "z": 1}'
+
+    def test_batch_append_counts_and_orders(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        assert append_records(path, [{"i": i} for i in range(5)]) == 5
+        assert append_records(path, []) == 0
+        records, _ = load_records(path, accept_all)
+        assert [r["i"] for r in records] == list(range(5))
+
+    def test_sidecar_lock_file_is_created(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        append_record(path, {"a": 1})
+        assert os.path.exists(lock_path(path))
+        assert lock_path(path) == path + ".lock"
+
+    def test_locked_is_reentrant_across_processes_not_threads(self, tmp_path):
+        # Single-process sanity: the context manager acquires and releases.
+        path = str(tmp_path / "store.jsonl")
+        with locked(path):
+            append_records_allowed = True
+        assert append_records_allowed
+        # A second acquisition after release succeeds.
+        with locked(path):
+            pass
+
+
+class TestRewrite:
+    def test_rewrite_replaces_contents_atomically(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        append_records(path, [{"i": i} for i in range(10)])
+        count = rewrite_records(path, [{"i": 1}, {"i": 2}])
+        assert count == 2
+        records, skipped = load_records(path, accept_all)
+        assert [r["i"] for r in records] == [1, 2]
+        assert skipped == 0
+        leftovers = [name for name in os.listdir(tmp_path)
+                     if name.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_rewrite_twice_is_byte_identical(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        records = [{"i": i, "payload": "x" * i} for i in range(20)]
+        rewrite_records(path, records)
+        first = open(path, "rb").read()
+        rewrite_records(path, records)
+        assert open(path, "rb").read() == first
+
+    def test_rewrite_failure_cleans_up_and_preserves_store(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        append_record(path, {"keep": True})
+
+        def poisoned():
+            yield {"i": 0}
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            rewrite_records(path, poisoned())
+        records, _ = load_records(path, accept_all)
+        assert records == [{"keep": True}]
+        assert [n for n in os.listdir(tmp_path) if n.endswith(".tmp")] == []
+
+
+# -- the multiprocess hammer -------------------------------------------------------
+
+
+def _hammer_worker(path, worker, count, barrier):
+    # A fat payload makes torn writes overwhelmingly likely without the
+    # lock: each line is several kiB, far beyond any atomic-write size a
+    # buffered "a"-mode stream would otherwise give for free.
+    barrier.wait()
+    for index in range(count):
+        append_record(path, {"worker": worker, "index": index,
+                             "pad": "x" * 4096})
+
+
+class TestMultiprocessHammer:
+    def test_concurrent_appends_never_tear_lines(self, tmp_path):
+        path = str(tmp_path / "hammer.jsonl")
+        workers, per_worker = 4, 25
+        barrier = multiprocessing.Barrier(workers)
+        processes = [
+            multiprocessing.Process(target=_hammer_worker,
+                                    args=(path, worker, per_worker, barrier))
+            for worker in range(workers)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(60)
+            assert process.exitcode == 0
+
+        records, skipped = load_records(path, accept_all)
+        # The regression: a torn line parses as garbage and is *silently
+        # skipped* — so the assertion that matters is skipped == 0, not
+        # just the total count.
+        assert skipped == 0
+        assert len(records) == workers * per_worker
+        seen = {(r["worker"], r["index"]) for r in records}
+        assert len(seen) == workers * per_worker
+
+    def test_store_level_skipped_lines_stays_zero(self, tmp_path):
+        from repro.explore.store import ResultStore, StoreKey
+
+        path = str(tmp_path / "hammer.jsonl")
+        workers, per_worker = 3, 10
+        barrier = multiprocessing.Barrier(workers)
+        processes = [
+            multiprocessing.Process(target=_store_hammer_worker,
+                                    args=(path, worker, per_worker, barrier))
+            for worker in range(workers)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(60)
+            assert process.exitcode == 0
+
+        store = ResultStore(path)
+        assert store.skipped_lines == 0
+        assert len(store) == workers * per_worker
+        key = StoreKey(fingerprint="w0-0", clock_period=1500.0,
+                       pipeline_ii=None, margin_fraction=0.05)
+        assert store.get_metrics(key)["saving_percent"] == 10.0
+
+
+def _store_hammer_worker(path, worker, count, barrier):
+    from repro.explore.store import ResultStore, StoreKey
+
+    barrier.wait()
+    store = ResultStore(path)
+    for index in range(count):
+        key = StoreKey(fingerprint=f"w{worker}-{index}", clock_period=1500.0,
+                       pipeline_ii=None, margin_fraction=0.05)
+        store.put(key, {"saving_percent": 10.0, "pad": "y" * 2048},
+                  workload=f"w{worker}")

@@ -157,3 +157,68 @@ class TestDSEResultImportExport:
         assert store.workloads() == ["w1", "w2"]
         assert len(store.metrics("w1")) == 1
         assert len(store.metrics()) == 2
+
+
+class TestCompaction:
+    def test_stale_lines_count_superseded_puts(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store.jsonl"))
+        store.put(make_key(), metrics_record(area=100.0))
+        assert store.stale_lines == 0
+        for area in (110.0, 120.0, 130.0):
+            store.put(make_key(), metrics_record(area=area))
+        # Three re-puts of the same key: three superseded disk lines.
+        assert len(store) == 1
+        assert store.stale_lines == 3
+
+    def test_compact_drops_stale_lines_and_keeps_last_record(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        store = ResultStore(path)
+        for area in (100.0, 110.0, 120.0):
+            store.put(make_key(), metrics_record(area=area))
+        store.put(make_key(fingerprint="b" * 8), metrics_record(area=7.0))
+        assert store.compact() == 2
+        assert store.stale_lines == 0
+
+        reloaded = ResultStore(path)
+        assert len(reloaded) == 2
+        assert reloaded.skipped_lines == 0
+        assert reloaded.get_metrics(make_key())["slack_based"]["area"] == 120.0
+
+    def test_compact_twice_is_byte_identical(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        store = ResultStore(path)
+        for fp in ("a", "b", "c"):
+            for area in (1.0, 2.0):
+                store.put(make_key(fingerprint=fp * 8),
+                          metrics_record(area=area))
+        store.compact()
+        first = open(path, "rb").read()
+        store.compact()
+        assert open(path, "rb").read() == first
+        # A reloaded store compacts to the same bytes again (the sorted
+        # canonical-line discipline is reload-invariant).
+        ResultStore(path).compact()
+        assert open(path, "rb").read() == first
+
+    def test_in_memory_store_requires_explicit_target(self, tmp_path):
+        store = ResultStore()
+        store.put(make_key(), metrics_record())
+        with pytest.raises(ReproError):
+            store.compact()
+        target = str(tmp_path / "exported.jsonl")
+        assert store.compact(target) == 1
+        assert len(ResultStore(target)) == 1
+
+    def test_memo_cache_compacts_at_the_threshold(self, tmp_path):
+        from repro.serve.cache import MemoCache
+
+        cache = MemoCache(path=str(tmp_path / "store.jsonl"),
+                          compact_after=3)
+        key = make_key()
+        for area in (1.0, 2.0, 3.0):
+            cache.record(key, metrics_record(area=area))
+        assert cache.compactions == 0  # 2 stale lines: below the bar
+        cache.record(key, metrics_record(area=4.0))
+        assert cache.compactions == 1
+        assert cache.store.stale_lines == 0
+        assert cache.lookup(key)["slack_based"]["area"] == 4.0

@@ -105,7 +105,10 @@ def test_cache_stats_covers_every_cache_layer(library):
 
     stats = cache_stats()
     assert set(stats) == {"analysis_cache", "delta_seeds", "characterization",
-                          "jsonl_stores"}
+                          "jsonl_stores", "serve"}
+    assert {"hits", "misses", "puts", "compactions"} <= set(stats["serve"])
+    assert {"skipped_lines", "appended_records"} \
+        <= set(stats["jsonl_stores"])
     # The analysis-cache probe pulls the public cache_info() tables.
     for table in ("artifacts", "spans", "sequential_slack"):
         assert {"hits", "misses"} <= set(stats["analysis_cache"][table])

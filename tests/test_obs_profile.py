@@ -110,4 +110,4 @@ def test_live_cache_summary_is_pulled_when_omitted():
     report = profile_report(forest())
     assert set(report["caches"]) \
         == {"analysis_cache", "delta_seeds", "characterization",
-            "jsonl_stores"}
+            "jsonl_stores", "serve"}

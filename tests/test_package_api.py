@@ -59,6 +59,7 @@ PINNED_SURFACE = {
     # errors
     "ReproError", "IRError", "ElaborationError", "LibraryError",
     "TimingError", "SchedulingError", "BindingError", "InfeasibleDesignError",
+    "DeadlineExceeded",
     # flows / session API
     "SweepSession", "SweepStats", "sweep_plan",
     "DesignPoint", "DSEEntry", "DSEResult",
@@ -69,6 +70,8 @@ PINNED_SURFACE = {
     # campaign layer
     "CampaignSpec", "plan_shards", "run_shard", "merge_shards",
     "trend_report",
+    # serve layer
+    "DSEService", "JobSpec", "MemoCache", "RetryPolicy",
     # verification
     "ORACLES", "Oracle", "oracle",
     # observability

@@ -1,0 +1,327 @@
+"""Contract tests of :class:`repro.serve.service.DSEService`.
+
+Everything except the byte-identity property tests runs against the fakes
+in :mod:`repro.serve.fakes` — no real flows, no sockets, no sleeping
+beyond the sub-second timeout scenario.  The fake evaluator's call log is
+the ground truth for "flow evaluations actually performed", which is what
+the memoization guarantees are asserted against.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.errors import ReproError
+from repro.serve.fakes import (
+    FakeEvaluator,
+    HangingEvaluator,
+    explore_payload,
+    submit_design_payload,
+    sweep_payload,
+)
+from repro.serve.jobs import JobSpec
+from repro.serve.retry import RetryPolicy
+from repro.serve.service import DSEService, JobStateError, UnknownJobError
+
+
+def _service(tmp_path=None, **kwargs):
+    if tmp_path is not None:
+        kwargs.setdefault("store_path", str(tmp_path / "store.jsonl"))
+        kwargs.setdefault("queue_path", str(tmp_path / "queue.jsonl"))
+    kwargs.setdefault("evaluator", FakeEvaluator())
+    kwargs.setdefault("library", object())  # fakes never touch the library
+    return DSEService(**kwargs)
+
+
+def _wait_terminal(service, job_id, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status = service.status(job_id)
+        if status["state"] in ("done", "failed", "cancelled", "timeout"):
+            return status
+        time.sleep(0.01)
+    raise AssertionError(f"job {job_id} still "
+                         f"{service.status(job_id)['state']} after {timeout}s")
+
+
+class TestEndpoints:
+    def test_submit_run_result_round_trip(self):
+        service = _service()
+        receipt = service.submit({"kind": "sweep",
+                                  "payload": sweep_payload()})
+        assert receipt["state"] == "pending"
+        assert service.run_pending() == 1
+
+        status = service.status(receipt["job_id"])
+        assert status["state"] == "done"
+        assert status["fingerprint"] == receipt["fingerprint"]
+
+        result = service.result(receipt["job_id"])["result"]
+        assert result["evaluations"] == 2 and result["cache_hits"] == 0
+        assert [p["point"]["latency"] for p in result["points"]] == [6, 8]
+
+    def test_unknown_job_raises_unknown_job_error(self):
+        service = _service()
+        for endpoint in (service.status, service.result, service.cancel):
+            with pytest.raises(UnknownJobError):
+                endpoint("job-424242")
+
+    def test_result_of_unfinished_job_raises_state_error(self):
+        service = _service()
+        receipt = service.submit(JobSpec("sweep", sweep_payload()))
+        with pytest.raises(JobStateError):
+            service.result(receipt["job_id"])
+
+    def test_cancel_pending_but_not_finished(self):
+        service = _service()
+        receipt = service.submit(JobSpec("sweep", sweep_payload()))
+        assert service.cancel(receipt["job_id"])["state"] == "cancelled"
+        assert service.run_pending() == 0  # nothing left to claim
+
+        finished = service.submit(JobSpec("sweep", sweep_payload()))
+        service.run_pending()
+        with pytest.raises(JobStateError):
+            service.cancel(finished["job_id"])
+
+    def test_malformed_submission_rejected_eagerly(self):
+        service = _service()
+        with pytest.raises(ReproError):
+            service.submit({"kind": "sweep",
+                            "payload": {"workload": "no-such-kernel",
+                                        "latencies": [6]}})
+        assert len(service.queue) == 0  # nothing was enqueued
+
+    def test_stats_reports_queue_cache_and_policy(self):
+        service = _service()
+        service.submit(JobSpec("sweep", sweep_payload()))
+        service.run_pending()
+        stats = service.stats()
+        assert stats["jobs"] == {"done": 1}
+        assert stats["cache"]["misses"] == 2
+        assert stats["cache"]["puts"] == 2
+        assert stats["retry"]["max_attempts"] >= 1
+        json.dumps(stats)
+
+    def test_endpoint_latency_histograms_advance(self):
+        from repro.obs.metrics import histogram
+
+        before = histogram("serve.endpoint.submit.seconds").count
+        service = _service()
+        service.submit(JobSpec("sweep", sweep_payload()))
+        assert histogram("serve.endpoint.submit.seconds").count == before + 1
+
+
+class TestMemoization:
+    def test_warm_resubmit_performs_zero_evaluations(self, tmp_path):
+        # The ISSUE acceptance criterion: a repeated submission whose
+        # fingerprint is already evaluated completes with zero new flow
+        # evaluations, asserted via the evaluator call log AND the
+        # service's own counters.
+        fake = FakeEvaluator()
+        cold = _service(tmp_path, evaluator=fake)
+        receipt = cold.submit(JobSpec("sweep", sweep_payload()))
+        cold.run_pending()
+        assert len(fake.calls) == 2
+
+        warm_fake = FakeEvaluator()
+        warm = _service(tmp_path, evaluator=warm_fake)
+        again = warm.submit(JobSpec("sweep", sweep_payload()))
+        assert again["fingerprint"] == receipt["fingerprint"]
+        warm.run_pending()
+
+        result = warm.result(again["job_id"])["result"]
+        assert warm_fake.calls == []  # zero new flow evaluations
+        assert result["evaluations"] == 0
+        assert result["cache_hits"] == 2
+        assert warm.cache.hits == 2 and warm.cache.misses == 0
+
+    def test_warm_results_are_byte_identical_to_cold(self, tmp_path):
+        cold = _service(tmp_path)
+        first = cold.submit(JobSpec("sweep", sweep_payload()))
+        cold.run_pending()
+        cold_points = cold.result(first["job_id"])["result"]["points"]
+
+        warm = _service(tmp_path, evaluator=FakeEvaluator())
+        second = warm.submit(JobSpec("sweep", sweep_payload()))
+        warm.run_pending()
+        warm_points = warm.result(second["job_id"])["result"]["points"]
+        assert json.dumps(warm_points, sort_keys=True) \
+            == json.dumps(cold_points, sort_keys=True)
+
+    def test_cache_is_shared_across_tenants_and_kinds(self):
+        # One tenant's sweep warms the other tenant's scenario-free sweep:
+        # the memo key is the work, not the submitter.
+        fake = FakeEvaluator()
+        service = _service(evaluator=fake)
+        a = service.submit(JobSpec("sweep", sweep_payload(), tenant="team-a"))
+        b = service.submit(JobSpec("sweep", sweep_payload(), tenant="team-b"))
+        service.run_pending()
+        assert len(fake.calls) == 2  # team-b's job was served from memo
+        assert service.result(b["job_id"])["result"]["cache_hits"] == 2
+        assert service.result(a["job_id"])["result"]["tenant"] == "team-a"
+
+    def test_partial_overlap_only_evaluates_the_new_points(self):
+        fake = FakeEvaluator()
+        service = _service(evaluator=fake)
+        service.submit(JobSpec("sweep", sweep_payload(latencies=(6, 8))))
+        overlap = service.submit(
+            JobSpec("sweep", sweep_payload(latencies=(8, 10))))
+        service.run_pending()
+        result = service.result(overlap["job_id"])["result"]
+        assert result["cache_hits"] == 1 and result["evaluations"] == 1
+        assert fake.calls.count("idct_L8_T1500") == 1
+
+    def test_explore_jobs_share_the_same_store(self):
+        fake = FakeEvaluator()
+        service = _service(evaluator=fake)
+        sweep = service.submit(JobSpec(
+            "sweep", sweep_payload(latencies=tuple(range(6, 17)))))
+        service.run_pending()
+        swept = len(fake.calls)
+        assert swept == 11
+
+        explore = service.submit(JobSpec("explore", explore_payload(
+            latencies=(6, 16))))
+        service.run_pending()
+        result = service.result(explore["job_id"])["result"]
+        assert result["kind"] == "explore"
+        assert result["front"]  # a real Pareto front came back
+        # Every point the exploration touched was already in the store.
+        assert len(fake.calls) == swept
+        assert result["evaluations"] == 0
+        assert service.result(sweep["job_id"])["result"]["evaluations"] == 11
+
+
+class TestRetryAndTimeout:
+    def test_transient_failures_are_retried_to_success(self):
+        fake = FakeEvaluator(fail_times=1)
+        service = _service(evaluator=fake,
+                           retry=RetryPolicy(max_attempts=3,
+                                             backoff_seconds=0.0))
+        receipt = service.submit(JobSpec("sweep", sweep_payload()))
+        service.run_pending()
+        status = service.status(receipt["job_id"])
+        assert status["state"] == "done"
+        assert status["attempts"] == 2
+
+    def test_exhausted_retries_yield_structured_failure(self):
+        fake = FakeEvaluator(fail_times=99)
+        service = _service(evaluator=fake,
+                           retry=RetryPolicy(max_attempts=2,
+                                             backoff_seconds=0.0))
+        receipt = service.submit(JobSpec("sweep", sweep_payload()))
+        service.run_pending()
+        status = service.status(receipt["job_id"])
+        assert status["state"] == "failed"
+        assert status["failure"]["kind"] == "error"
+        assert "injected failure" in status["failure"]["error"]
+        assert len(status["failure"]["attempts"]) == 2
+        with pytest.raises(JobStateError):
+            service.result(receipt["job_id"])
+
+    def test_deadline_returns_structured_timeout_without_stalling(self):
+        # The ISSUE acceptance criterion: a hanging job is cut at the
+        # retry deadline with a structured timeout failure, and the SAME
+        # worker thread goes on to complete the next job — the pool never
+        # stalls behind the hang.
+        hanging = HangingEvaluator(hang_seconds=30.0)
+        fake = FakeEvaluator()
+
+        def evaluator(factory, library, point, margin_fraction, scheduling):
+            if point.latency == 6:
+                return hanging(factory, library, point, margin_fraction,
+                               scheduling)
+            return fake(factory, library, point, margin_fraction, scheduling)
+
+        service = _service(
+            evaluator=evaluator,
+            retry=RetryPolicy(max_attempts=3, deadline_seconds=0.2))
+        hung = service.submit(JobSpec("sweep", sweep_payload(latencies=(6,))))
+        healthy = service.submit(
+            JobSpec("sweep", sweep_payload(latencies=(8,))))
+        service.start_workers(1)
+        try:
+            timed_out = _wait_terminal(service, hung["job_id"])
+            completed = _wait_terminal(service, healthy["job_id"])
+        finally:
+            service.stop_workers()
+            hanging.release()
+
+        assert timed_out["state"] == "timeout"
+        assert timed_out["failure"]["kind"] == "timeout"
+        assert timed_out["attempts"] == 1  # timeouts are terminal, no retry
+        assert completed["state"] == "done"
+        assert fake.calls == ["idct_L8_T1500"]
+
+    def test_run_pending_respects_max_jobs(self):
+        service = _service()
+        for _ in range(3):
+            service.submit(JobSpec("sweep", sweep_payload()))
+        assert service.run_pending(max_jobs=2) == 2
+        assert service.queue.pending_count() == 1
+        assert service.run_pending() == 1
+
+
+class TestWorkerPool:
+    def test_workers_drain_the_queue_concurrently(self):
+        fake = FakeEvaluator()
+        service = _service(evaluator=fake)
+        receipts = [service.submit(JobSpec("sweep",
+                                           sweep_payload(latencies=(lat,))))
+                    for lat in (6, 8, 10, 12)]
+        service.start_workers(2)
+        try:
+            for receipt in receipts:
+                assert _wait_terminal(service,
+                                      receipt["job_id"])["state"] == "done"
+        finally:
+            service.stop_workers()
+        assert sorted(fake.calls) == sorted(
+            f"idct_L{lat}_T1500" for lat in (6, 8, 10, 12))
+
+    def test_stop_workers_clears_the_pool(self):
+        service = _service()
+        service.start_workers(2)
+        assert service.stats()["workers"] == 2
+        service.stop_workers()
+        assert service.stats()["workers"] == 0
+
+
+class TestServedEqualsDirectProperty:
+    """The tentpole property: a served evaluation is byte-identical to a
+    direct :func:`repro.flows.dse.evaluate_point` call — on the cold path
+    (the service actually ran the flows) and on the memoized path (the
+    result came back from the shared store)."""
+
+    def test_submit_design_matches_direct_evaluation(self, tmp_path, library):
+        from repro.flows.dse import evaluate_point
+        from repro.verify.scenarios import ScenarioSpec
+
+        payload = submit_design_payload(seed=11, max_segments=2)
+        scenario = ScenarioSpec.from_dict(payload)
+        direct = evaluate_point(
+            scenario.factory(), library, scenario.point(name=scenario.name),
+            margin_fraction=scenario.margin_fraction,
+            scheduling="block").metrics()
+        direct_bytes = json.dumps(direct, sort_keys=True)
+
+        cold = DSEService(library=library,
+                          store_path=str(tmp_path / "store.jsonl"))
+        receipt = cold.submit(JobSpec("submit-design", payload))
+        cold.run_pending()
+        cold_result = cold.result(receipt["job_id"])["result"]
+        assert cold_result["evaluations"] == 1
+        assert json.dumps(cold_result["points"][0], sort_keys=True) \
+            == direct_bytes
+
+        warm = DSEService(library=library,
+                          store_path=str(tmp_path / "store.jsonl"))
+        again = warm.submit(JobSpec("submit-design", payload))
+        assert again["fingerprint"] == receipt["fingerprint"]
+        warm.run_pending()
+        warm_result = warm.result(again["job_id"])["result"]
+        assert warm_result["evaluations"] == 0
+        assert warm_result["cache_hits"] == 1
+        assert json.dumps(warm_result["points"][0], sort_keys=True) \
+            == direct_bytes
